@@ -1,0 +1,127 @@
+// Ablations for the runtime design choices DESIGN.md calls out (§3.2, §3.5):
+//
+//  1. Outlet batch size — the paper aggregates messages at the application level to keep
+//     throughput high despite aggressive TCP timeouts; this sweep shows how throughput
+//     collapses with tiny bundles and saturates with large ones.
+//  2. Bounded re-entrancy — §3.2: without re-entrant delivery, tight self-message cycles
+//     overload the system queues; with it, messages coalesce inside the callback stack.
+
+#include <atomic>
+
+#include "bench/bench_util.h"
+#include "src/base/stopwatch.h"
+#include "src/core/io.h"
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+
+namespace naiad {
+namespace {
+
+class RotateVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t& x : batch) {
+      ++x;
+    }
+    this->output().SendBatch(t, std::move(batch));
+  }
+};
+
+double ExchangeSeconds(size_t batch_size, uint64_t records, uint64_t rounds) {
+  Controller ctl(Config{.workers_per_process = 2, .batch_size = batch_size});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0, "xchg");
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>(rounds);
+  Partitioner<uint64_t> part = [](const uint64_t& x) { return x; };
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in, part);
+  StageId rot = b.NewStage<RotateVertex>(StageOptions{.name = "rot", .depth = 1},
+                                         [](uint32_t) {
+                                           return std::make_unique<RotateVertex>();
+                                         });
+  b.Connect<RotateVertex, uint64_t>(entered, rot, 0, part);
+  b.Connect<RotateVertex, uint64_t>(fb.stream(), rot, 0, part);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(rot), part);
+  ctl.Start();
+  std::vector<uint64_t> data(records);
+  for (uint64_t i = 0; i < records; ++i) {
+    data[i] = i;
+  }
+  Stopwatch sw;
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  return sw.ElapsedSeconds();
+}
+
+// Sends itself `chain` sequential messages through a self-cycle, forcing the queue-or-call
+// decision on every hop.
+class SelfChainVertex final : public Unary2Vertex<uint64_t, uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      if (x > 0) {
+        output1().Send(t, x - 1);
+        output1().Flush();
+      } else {
+        output2().Send(t, 1);
+      }
+    }
+  }
+};
+
+double SelfChainSeconds(uint32_t reentrancy, uint64_t chain, uint64_t parallel_chains) {
+  Controller ctl(Config{.workers_per_process = 1, .batch_size = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0, "chain");
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+  StageId body = b.NewStage<SelfChainVertex>(
+      StageOptions{.name = "chain",
+                   .depth = 1,
+                   .parallelism = 1,
+                   .reentrancy = reentrancy},
+      [](uint32_t) { return std::make_unique<SelfChainVertex>(); });
+  b.Connect<SelfChainVertex, uint64_t>(entered, body);
+  b.Connect<SelfChainVertex, uint64_t>(fb.stream(), body);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(body, 0));
+  std::atomic<uint64_t> done{0};
+  ForEach<uint64_t>(loop.Egress<uint64_t>(b.OutputOf<uint64_t>(body, 1)),
+                    [&](const Timestamp&, std::vector<uint64_t>& r) {
+                      done.fetch_add(r.size());
+                    });
+  ctl.Start();
+  std::vector<uint64_t> chains(parallel_chains, chain);
+  Stopwatch sw;
+  handle->OnNext(std::move(chains));
+  handle->OnCompleted();
+  ctl.Join();
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace naiad
+
+int main() {
+  using namespace naiad;
+  bench::Header("Ablation 1", "application-level message aggregation (§3.5)",
+                "Naiad aggregates messages to keep throughput high; per-record bundles pay "
+                "a work-item + progress update per record");
+  bench::Row("%-12s %-14s %-14s", "batch size", "seconds", "records/s");
+  for (size_t bs : {size_t{1}, size_t{16}, size_t{256}, size_t{4096}}) {
+    const uint64_t records = bs == 1 ? 20000 : 200000;
+    const double s = ExchangeSeconds(bs, records, 5);
+    bench::Row("%-12zu %-14.3f %-14.3e", bs, s, records * 5 / s);
+  }
+
+  bench::Header("Ablation 2", "bounded re-entrancy (§3.2)",
+                "re-entrant delivery lets a vertex's self-messages run inside the callback "
+                "instead of round-tripping through the worker queue");
+  bench::Row("%-14s %-14s", "reentrancy", "seconds");
+  for (uint32_t depth : {0u, 4u, 16u, 64u}) {
+    const double s = SelfChainSeconds(depth, 400, 50);
+    bench::Row("%-14u %-14.3f", depth, s);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints (a) the paper's claim for the figure/table it regenerates and (b) a
+// table of measured rows in the same shape. Absolute numbers differ from the paper's 2013
+// cluster — EXPERIMENTS.md records both sides; the *shape* is the reproduction target.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace naiad::bench {
+
+inline void Header(const char* id, const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace naiad::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

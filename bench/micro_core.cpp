@@ -1,0 +1,141 @@
+// Micro-benchmarks for the mechanisms §3 engineers around: serialization, progress
+// tracking (frontier evaluation vs active-set size), queue hand-off, and eventcount
+// wakeups. These quantify the design choices DESIGN.md calls out (O(active²) frontier
+// scans, batched MPSC drains, buffered progress flushes).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/base/event_count.h"
+#include "src/base/mpsc_queue.h"
+#include "src/core/graph.h"
+#include "src/core/progress.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+namespace {
+
+void BM_CodecEncodeU64Vector(benchmark::State& state) {
+  std::vector<uint64_t> payload(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    ByteWriter w;
+    Codec<std::vector<uint64_t>>::Encode(w, payload);
+    benchmark::DoNotOptimize(w.buffer().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0) * 8);
+}
+BENCHMARK(BM_CodecEncodeU64Vector)->Arg(64)->Arg(4096);
+
+void BM_CodecRoundTripRecords(benchmark::State& state) {
+  std::vector<std::pair<uint64_t, uint64_t>> recs(1024, {7, 9});
+  for (auto _ : state) {
+    ByteWriter w;
+    Codec<decltype(recs)>::Encode(w, recs);
+    ByteReader r(w.buffer());
+    decltype(recs) out;
+    Codec<decltype(recs)>::Decode(r, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CodecRoundTripRecords);
+
+void BM_TimestampSerde(benchmark::State& state) {
+  Timestamp t(42, {1, 2, 3});
+  for (auto _ : state) {
+    ByteWriter w;
+    t.Encode(w);
+    ByteReader r(w.buffer());
+    Timestamp out;
+    out.Decode(r);
+    benchmark::DoNotOptimize(out.epoch);
+  }
+}
+BENCHMARK(BM_TimestampSerde);
+
+// Frontier query cost as a function of active-pointstamp count (the O(active^2) design).
+void BM_FrontierCanDeliver(benchmark::State& state) {
+  LogicalGraph g;
+  StageDef in_def;
+  StageId in = g.AddStage(std::move(in_def));
+  StageDef ing;
+  ing.action = TimestampAction::kIngress;
+  StageId ingress = g.AddStage(std::move(ing));
+  StageDef body_def;
+  body_def.depth = 1;
+  StageId body = g.AddStage(std::move(body_def));
+  StageDef fb;
+  fb.depth = 1;
+  fb.action = TimestampAction::kFeedback;
+  StageId feedback = g.AddStage(std::move(fb));
+  auto conn = [&](StageId a, StageId b) {
+    ConnectorDef c;
+    c.src = a;
+    c.dst = b;
+    g.AddConnector(std::move(c));
+  };
+  conn(in, ingress);
+  conn(ingress, body);
+  conn(body, feedback);
+  conn(feedback, body);
+  g.Freeze();
+
+  EventCount ev;
+  ProgressTracker tracker(&g, &ev);
+  std::vector<ProgressUpdate> ups;
+  const int64_t actives = state.range(0);
+  for (int64_t i = 0; i < actives; ++i) {
+    ups.push_back({{Timestamp(0, {static_cast<uint64_t>(i)}), Location::Stage(body)}, +1});
+  }
+  tracker.Apply(ups);
+  const Pointstamp probe{Timestamp(0, {0}), Location::Stage(body)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.CanDeliver(probe));
+  }
+}
+BENCHMARK(BM_FrontierCanDeliver)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ProgressBufferFlushCombining(benchmark::State& state) {
+  const int64_t updates = state.range(0);
+  for (auto _ : state) {
+    ProgressBuffer buf;
+    for (int64_t i = 0; i < updates; ++i) {
+      buf.Add({Timestamp(0), Location::Connector(static_cast<uint32_t>(i % 8))}, +1);
+      buf.Add({Timestamp(0), Location::Connector(static_cast<uint32_t>(i % 8))}, -1);
+    }
+    benchmark::DoNotOptimize(buf.Take());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * updates * 2);
+}
+BENCHMARK(BM_ProgressBufferFlushCombining)->Arg(256);
+
+void BM_MpscQueueHandoff(benchmark::State& state) {
+  MpscQueue<uint64_t> q;
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    for (int i = 0; i < 128; ++i) {
+      q.Push(static_cast<uint64_t>(i));
+    }
+    out.clear();
+    q.DrainInto(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_MpscQueueHandoff);
+
+void BM_EventCountSignal(benchmark::State& state) {
+  EventCount ev;
+  for (auto _ : state) {
+    EventCount::Ticket t = ev.PrepareWait();
+    ev.NotifyAll();
+    ev.CommitWait(t, std::chrono::microseconds(0));
+  }
+}
+BENCHMARK(BM_EventCountSignal);
+
+}  // namespace
+}  // namespace naiad
+
+BENCHMARK_MAIN();

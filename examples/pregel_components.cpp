@@ -1,0 +1,64 @@
+// The Pregel library (§4.2): max-label propagation with vote-to-halt, the classic Pregel
+// connected-components example, running as supersteps inside a timely dataflow loop.
+//
+//   ./build/examples/pregel_components [nodes] [edges]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "src/base/stopwatch.h"
+#include "src/core/controller.h"
+#include "src/core/io.h"
+#include "src/gen/graphs.h"
+#include "src/lib/pregel.h"
+
+int main(int argc, char** argv) {
+  using namespace naiad;
+  const uint64_t nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+  const uint64_t n_edges = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+
+  Controller controller(Config{.workers_per_process = 4});
+  GraphBuilder graph(controller);
+  auto [edges, input] = NewInput<Edge>(graph, "edges");
+
+  auto result = Pregel<uint64_t, uint64_t>(
+      edges, /*initial=*/0, /*max_supersteps=*/10000,
+      [](PregelNodeContext<uint64_t, uint64_t>& ctx, const std::vector<uint64_t>& inbox) {
+        uint64_t best = ctx.superstep() == 0 ? ctx.node_id() : ctx.state();
+        for (uint64_t m : inbox) {
+          best = std::max(best, m);
+        }
+        if (best != ctx.state() || ctx.superstep() == 0) {
+          ctx.state() = best;
+          ctx.SendToAllNeighbors(best);
+        }
+        ctx.VoteToHalt();  // reactivated automatically when a message arrives
+      });
+
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> labels;
+  Subscribe<std::pair<uint64_t, uint64_t>>(
+      result, [&](uint64_t, std::vector<std::pair<uint64_t, uint64_t>>& recs) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [n, label] : recs) {
+          labels[n] = std::max(labels[n], label);  // label propagation is monotone
+        }
+      });
+
+  controller.Start();
+  Stopwatch sw;
+  input->OnNext(Symmetrize(RandomGraph(nodes, n_edges, /*seed=*/3)));
+  input->OnCompleted();
+  controller.Join();
+
+  std::set<uint64_t> components;
+  for (const auto& [n, label] : labels) {
+    components.insert(label);
+  }
+  std::printf("pregel labeled %zu nodes into %zu components in %.1f ms\n", labels.size(),
+              components.size(), sw.ElapsedMillis());
+  return 0;
+}

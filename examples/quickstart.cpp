@@ -1,0 +1,62 @@
+// Quickstart: the prototypical Naiad program of §4.1.
+//
+//   1a. define an input stage;  1b. build the dataflow (an incrementally-updatable
+//   MapReduce: SelectMany + GroupBy);  1c. subscribe to the outputs;
+//   2.  supply epochs of input, then close the input and join.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/io.h"
+#include "src/gen/text.h"
+#include "src/lib/operators.h"
+
+int main() {
+  using namespace naiad;
+
+  Controller controller(Config{.workers_per_process = 4});
+  GraphBuilder graph(controller);
+
+  // 1a. Define input stages for the dataflow.
+  auto [lines, input] = NewInput<std::string>(graph, "lines");
+
+  // 1b. Define the timely dataflow graph: map (split into words), then reduce (count).
+  auto words = SelectMany(lines, SplitWords);
+  auto counts = GroupBy(
+      words, [](const std::string& w) { return w; },
+      [](const std::string& w, std::vector<std::string>& occurrences) {
+        using Out = std::pair<std::string, uint64_t>;
+        return std::vector<Out>{{w, occurrences.size()}};
+      });
+
+  // 1c. Define output callbacks for each epoch.
+  std::mutex mu;
+  Subscribe<std::pair<std::string, uint64_t>>(
+      counts, [&](uint64_t epoch, std::vector<std::pair<std::string, uint64_t>>& recs) {
+        std::lock_guard<std::mutex> lock(mu);
+        std::printf("epoch %llu produced %zu distinct words; a few of them:\n",
+                    static_cast<unsigned long long>(epoch), recs.size());
+        for (size_t i = 0; i < recs.size() && i < 5; ++i) {
+          std::printf("  %-12s %llu\n", recs[i].first.c_str(),
+                      static_cast<unsigned long long>(recs[i].second));
+        }
+      });
+
+  controller.Start();
+
+  // 2. Supply epochs of input data to the query.
+  input->OnNext({"to be or not to be", "that is the question"});
+  input->OnNext({"the slings and arrows of outrageous fortune"});
+  input->OnNext(ZipfCorpus(/*lines=*/1000, /*words_per_line=*/10, /*vocabulary=*/500,
+                           /*seed=*/42));
+  input->OnCompleted();
+
+  controller.Join();
+  std::printf("done.\n");
+  return 0;
+}

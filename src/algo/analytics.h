@@ -1,0 +1,252 @@
+// The Figure 1 / §6.4 application: streaming iterative graph analytics with interactive
+// queries.
+//
+// Tweets arrive continually; mentions grow a user–user graph whose connected components
+// are maintained incrementally (the dashed rectangle of Fig. 1); hashtags are attributed
+// to the tweeting user's current component; queries ask for the top hashtag in a user's
+// component.
+//
+// The combiner at the end is a custom stateful vertex — exactly the situation §4.3
+// motivates custom vertices for: it reacts to component-label *improvements* (our
+// monotonic substitute for differential dataflow, DESIGN.md #7) by migrating a user's
+// hashtag counts between components.
+//
+// Query freshness (§6.4, Fig. 8):
+//   kConsistent — answers wait for the query's epoch to complete ("Fresh": correct answers
+//                 queue behind the component/hashtag update work);
+//   kStale      — answers are produced the moment the query arrives, reflecting whatever
+//                 state is already computed ("1 s delay" when the driver lags queries one
+//                 epoch behind the tweet stream).
+
+#ifndef SRC_ALGO_ANALYTICS_H_
+#define SRC_ALGO_ANALYTICS_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/algo/wcc.h"
+#include "src/gen/tweets.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+struct AnalyticsEvent {
+  enum Kind : uint8_t { kCidImproved = 0, kHashtag = 1 };
+  uint8_t kind = kHashtag;
+  uint64_t user = 0;
+  uint64_t value = 0;  // new component id, or hashtag
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU8(kind);
+    w.WriteU64(user);
+    w.WriteU64(value);
+  }
+  bool Decode(ByteReader& r) {
+    kind = r.ReadU8();
+    user = r.ReadU64();
+    value = r.ReadU64();
+    return r.ok();
+  }
+};
+
+struct TopTagQuery {
+  uint64_t user = 0;
+  uint64_t query_id = 0;
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU64(user);
+    w.WriteU64(query_id);
+  }
+  bool Decode(ByteReader& r) {
+    user = r.ReadU64();
+    query_id = r.ReadU64();
+    return r.ok();
+  }
+};
+
+struct TopTagAnswer {
+  uint64_t query_id = 0;
+  uint64_t component = 0;
+  uint64_t top_tag = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const TopTagAnswer&, const TopTagAnswer&) = default;
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU64(query_id);
+    w.WriteU64(component);
+    w.WriteU64(top_tag);
+    w.WriteU64(count);
+  }
+  bool Decode(ByteReader& r) {
+    query_id = r.ReadU64();
+    component = r.ReadU64();
+    top_tag = r.ReadU64();
+    count = r.ReadU64();
+    return r.ok();
+  }
+};
+
+enum class QueryFreshness : uint8_t { kConsistent, kStale };
+
+class TopHashtagVertex final : public BinaryVertex<AnalyticsEvent, TopTagQuery, TopTagAnswer> {
+ public:
+  explicit TopHashtagVertex(QueryFreshness mode) : mode_(mode) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<AnalyticsEvent>& events) override {
+    if (mode_ == QueryFreshness::kStale) {
+      // Uncoordinated: fold updates in as they arrive (their epoch order may interleave).
+      for (const AnalyticsEvent& ev : events) {
+        ApplyEvent(ev);
+      }
+      return;
+    }
+    // Consistent: deliveries are asynchronous across epochs (§2.2), so later epochs'
+    // events can arrive before this epoch completes — buffer per timestamp and fold them
+    // in at the completeness notification, which the runtime delivers in epoch order.
+    auto [it, fresh] = pending_events_.try_emplace(t);
+    if (fresh) {
+      NotifyAt(t);
+    }
+    it->second.insert(it->second.end(), events.begin(), events.end());
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<TopTagQuery>& queries) override {
+    if (mode_ == QueryFreshness::kStale) {
+      for (const TopTagQuery& q : queries) {
+        output().Send(t, Answer(q));
+      }
+      return;
+    }
+    auto [it, fresh] = pending_queries_.try_emplace(t);
+    if (fresh) {
+      NotifyAt(t);
+    }
+    it->second.insert(it->second.end(), queries.begin(), queries.end());
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    if (auto it = pending_events_.find(t); it != pending_events_.end()) {
+      for (const AnalyticsEvent& ev : it->second) {
+        ApplyEvent(ev);
+      }
+      pending_events_.erase(it);
+    }
+    if (auto it = pending_queries_.find(t); it != pending_queries_.end()) {
+      for (const TopTagQuery& q : it->second) {
+        output().Send(t, Answer(q));
+      }
+      pending_queries_.erase(it);
+    }
+  }
+
+ private:
+  void ApplyEvent(const AnalyticsEvent& ev) {
+    if (ev.kind == AnalyticsEvent::kHashtag) {
+      ++user_tags_[ev.user][ev.value];
+      Bump(CidOf(ev.user), ev.value, 1);
+    } else if (ev.value < CidOf(ev.user)) {
+      // The user's component improved: migrate their hashtag counts.
+      const uint64_t old_cid = CidOf(ev.user);
+      user_cid_[ev.user] = ev.value;
+      auto it = user_tags_.find(ev.user);
+      if (it != user_tags_.end()) {
+        for (const auto& [tag, n] : it->second) {
+          Bump(old_cid, tag, -static_cast<int64_t>(n));
+          Bump(ev.value, tag, static_cast<int64_t>(n));
+        }
+      }
+    }
+  }
+
+  uint64_t CidOf(uint64_t user) const {
+    auto it = user_cid_.find(user);
+    return it == user_cid_.end() ? user : it->second;
+  }
+
+  void Bump(uint64_t cid, uint64_t tag, int64_t delta) {
+    auto& tags = cid_tags_[cid];
+    int64_t& n = tags[tag];
+    n += delta;
+    if (n <= 0) {
+      tags.erase(tag);
+    }
+    // Maintain the cached top tag for the component.
+    auto& top = top_[cid];
+    if (n >= static_cast<int64_t>(top.second)) {
+      top = {tag, static_cast<uint64_t>(n)};
+    } else if (top.first == tag) {
+      top = {0, 0};  // the leader shrank: rescan
+      for (const auto& [tg, cnt] : tags) {
+        if (cnt > static_cast<int64_t>(top.second)) {
+          top = {tg, static_cast<uint64_t>(cnt)};
+        }
+      }
+    }
+  }
+
+  TopTagAnswer Answer(const TopTagQuery& q) const {
+    const uint64_t cid = CidOf(q.user);
+    auto it = top_.find(cid);
+    TopTagAnswer a;
+    a.query_id = q.query_id;
+    a.component = cid;
+    if (it != top_.end()) {
+      a.top_tag = it->second.first;
+      a.count = it->second.second;
+    }
+    return a;
+  }
+
+  QueryFreshness mode_;
+  std::map<uint64_t, uint64_t> user_cid_;
+  std::map<uint64_t, std::map<uint64_t, int64_t>> user_tags_;
+  std::map<uint64_t, std::map<uint64_t, int64_t>> cid_tags_;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> top_;
+  std::map<Timestamp, std::vector<AnalyticsEvent>> pending_events_;
+  std::map<Timestamp, std::vector<TopTagQuery>> pending_queries_;
+};
+
+// Assembles the whole Figure-1 dataflow; returns the answer stream. The combining vertex
+// is a singleton (the example/benchmark scale is one machine; §6.4's is data-parallel via
+// a further exchange on component id, which the structure here would support unchanged).
+inline Stream<TopTagAnswer> StreamingTopHashtags(const Stream<Tweet>& tweets,
+                                                 const Stream<TopTagQuery>& queries,
+                                                 QueryFreshness mode) {
+  GraphBuilder& b = *tweets.builder;
+  Stream<Edge> mentions = SelectMany(tweets, [](const Tweet& tw) {
+    std::vector<Edge> out;
+    out.reserve(tw.mentions.size());
+    for (uint64_t m : tw.mentions) {
+      out.emplace_back(tw.user, m);
+    }
+    return out;
+  });
+  Stream<NodeLabel> cc = IncrementalConnectedComponents(mentions);
+
+  Stream<AnalyticsEvent> tag_events = SelectMany(tweets, [](const Tweet& tw) {
+    std::vector<AnalyticsEvent> out;
+    out.reserve(tw.hashtags.size());
+    for (uint64_t h : tw.hashtags) {
+      out.push_back(AnalyticsEvent{AnalyticsEvent::kHashtag, tw.user, h});
+    }
+    return out;
+  });
+  Stream<AnalyticsEvent> cid_events = Select(cc, [](const NodeLabel& nl) {
+    return AnalyticsEvent{AnalyticsEvent::kCidImproved, nl.first, nl.second};
+  });
+  Stream<AnalyticsEvent> events = Concat<AnalyticsEvent>(tag_events, cid_events);
+
+  StageId combine = b.NewStage<TopHashtagVertex>(
+      StageOptions{.name = "top-hashtags", .depth = 0, .parallelism = 1},
+      [mode](uint32_t) { return std::make_unique<TopHashtagVertex>(mode); });
+  b.Connect<TopHashtagVertex, AnalyticsEvent>(events, combine, 0);
+  b.Connect<TopHashtagVertex, TopTagQuery>(queries, combine, 1);
+  return b.OutputOf<TopTagAnswer>(combine);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_ANALYTICS_H_

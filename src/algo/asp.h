@@ -1,0 +1,123 @@
+// Approximate all-pairs shortest paths (Table 1): exact hop distances from a small sample
+// of source nodes, the standard approximation the paper's ASP workload uses (its
+// incremental variant "does less work ... but requires many more iterations").
+//
+// Multi-source BFS by asynchronous min-distance propagation: state is dist[(node, src)],
+// messages are (node, src, dist) proposals; everything is uncoordinated inside the loop.
+
+#ifndef SRC_ALGO_ASP_H_
+#define SRC_ALGO_ASP_H_
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/gen/graphs.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+// (node, source index, hop distance)
+using AspMsg = std::tuple<uint64_t, uint64_t, uint64_t>;
+
+class AspVertex final : public Binary2Vertex<Edge, AspMsg, AspMsg, AspMsg> {
+ public:
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    Ctx& c = ctx_[t.Popped()];
+    for (const Edge& e : edges) {
+      c.adj[e.first].push_back(e.second);
+      // Distances may already have flowed through e.first before this edge arrived
+      // (everything here is asynchronous); re-propose them across the new edge.
+      auto it = c.dist.find(e.first);
+      if (it != c.dist.end()) {
+        for (const auto& [src, d] : it->second) {
+          output1().Send(t, {e.second, src, d + 1});
+        }
+      }
+    }
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<AspMsg>& proposals) override {
+    Ctx& c = ctx_[t.Popped()];
+    for (const auto& [node, src, dist] : proposals) {
+      // Per-node distance vectors: the source sample is small, so a linear scan wins.
+      std::vector<std::pair<uint64_t, uint64_t>>& dv = c.dist[node];
+      bool improved = false;
+      bool found = false;
+      for (auto& [s, d] : dv) {
+        if (s == src) {
+          found = true;
+          if (dist < d) {
+            d = dist;
+            improved = true;
+          }
+          break;
+        }
+      }
+      if (!found) {
+        dv.emplace_back(src, dist);
+        improved = true;
+      }
+      if (!improved) {
+        continue;
+      }
+      output2().Send(t, {node, src, dist});
+      auto adj_it = c.adj.find(node);
+      if (adj_it != c.adj.end()) {
+        for (uint64_t nbr : adj_it->second) {
+          output1().Send(t, {nbr, src, dist + 1});
+        }
+      }
+    }
+  }
+
+ private:
+  struct Ctx {
+    std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+    // node -> [(source, best distance)]
+    std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>> dist;
+  };
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+// Distances (node, src, d) from each source; improvements stream, reduced to the final
+// minimum per (node, src) on epoch completeness.
+inline Stream<AspMsg> ApproximateShortestPaths(const Stream<Edge>& edges,
+                                               const Stream<uint64_t>& sources) {
+  GraphBuilder& b = *edges.builder;
+  Partitioner<AspMsg> by_node = [](const AspMsg& m) { return Mix64(std::get<0>(m)); };
+  LoopContext loop(b, edges.depth, "asp");
+  FeedbackHandle<AspMsg> fb = loop.NewFeedback<AspMsg>();
+  Stream<Edge> edges_in =
+      loop.Ingress<Edge>(edges, [](const Edge& e) { return Mix64(e.first); });
+  Stream<AspMsg> seeds = Select(loop.Ingress<uint64_t>(sources),
+                                [](const uint64_t& s) { return AspMsg{s, s, 0}; });
+  Stream<AspMsg> proposals = Concat<AspMsg>(seeds, fb.stream());
+
+  StageId asp = b.NewStage<AspVertex>(
+      StageOptions{.name = "asp", .depth = loop.inner_depth()},
+      [](uint32_t) { return std::make_unique<AspVertex>(); });
+  b.Connect<AspVertex, Edge>(edges_in, asp, 0);
+  b.Connect<AspVertex, AspMsg>(proposals, asp, 1, by_node);
+  fb.ConnectLoop(b.OutputOf<AspMsg>(asp, 0), by_node);
+  Stream<AspMsg> improvements = loop.Egress<AspMsg>(b.OutputOf<AspMsg>(asp, 1));
+
+  return GroupBy(
+      improvements,
+      [](const AspMsg& m) { return std::pair<uint64_t, uint64_t>{std::get<0>(m), std::get<1>(m)}; },
+      [](const std::pair<uint64_t, uint64_t>& key, std::vector<AspMsg>& ms) {
+        uint64_t best = std::get<2>(ms.front());
+        for (const AspMsg& m : ms) {
+          best = std::min(best, std::get<2>(m));
+        }
+        return std::vector<AspMsg>{{key.first, key.second, best}};
+      });
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_ASP_H_

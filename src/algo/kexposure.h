@@ -1,0 +1,48 @@
+// k-exposure (§6.3): the Kineograph topic-controversy metric, expressed — as the paper
+// notes — in a few lines of Distinct / Join / Count over the tweet stream.
+//
+// Each epoch of tweets yields (user, hashtag) pairs; Distinct dedupes a user's repeated
+// tags within the epoch; an accumulating Join against the follower graph (followers of
+// the posting user were *exposed* to the tag) produces exposure events; Count reports how
+// many exposures each hashtag gained this epoch. Consumers accumulate the histogram.
+
+#ifndef SRC_ALGO_KEXPOSURE_H_
+#define SRC_ALGO_KEXPOSURE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/gen/graphs.h"
+#include "src/gen/tweets.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+// (user, hashtag)
+using UserTag = std::pair<uint64_t, uint64_t>;
+// (hashtag, new exposures this epoch)
+using TagExposure = std::pair<uint64_t, uint64_t>;
+
+inline Stream<TagExposure> KExposure(const Stream<Tweet>& tweets,
+                                     const Stream<Edge>& followers) {
+  Stream<UserTag> tags = SelectMany(tweets, [](const Tweet& t) {
+    std::vector<UserTag> out;
+    out.reserve(t.hashtags.size());
+    for (uint64_t h : t.hashtags) {
+      out.emplace_back(t.user, h);
+    }
+    return out;
+  });
+  Stream<UserTag> fresh = Distinct(tags);
+  // followers: (follower, followee); a tweet by `followee` exposes `follower`.
+  Stream<UserTag> exposures = Join(
+      fresh, followers, [](const UserTag& ut) { return ut.first; },
+      [](const Edge& e) { return e.second; },
+      [](const UserTag& ut, const Edge& e) { return UserTag{e.first, ut.second}; },
+      JoinMode::kAccumulating);
+  return Count(exposures, [](const UserTag& exp) { return exp.second; });
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_KEXPOSURE_H_

@@ -1,0 +1,158 @@
+// Asynchronous min-label propagation — the building block for (incremental) connected
+// components (§6.1, §6.4) and for the forward/backward phases of SCC.
+//
+// The vertex lives inside a loop context. Edges enter on input 1 at iteration 0 (directed:
+// labels flow src → dst; undirected algorithms symmetrize first). Label proposals
+// (node, candidate) enter on input 2 from the loop's feedback. Output 1 carries proposals
+// to circulate; output 2 carries *accepted* improvements (node, new label) for the egress.
+//
+// No NotifyAt anywhere: this is the paper's uncoordinated BloomL style (§2.4) — iterations
+// proceed asynchronously, the loop quiesces when no improvement circulates, and the
+// surrounding frontier machinery still provides exact completion detection per epoch.
+//
+// State scoping:
+//  * kPerContext — one adjacency/label table per enclosing timestamp context (epoch for a
+//    singly-nested loop, (epoch, outer-iteration) for SCC's nested loops); reclaimed lazily.
+//  * kGlobal — one table shared by all epochs: incremental label propagation over a
+//    monotonically growing edge set, the §6.4 configuration (differential-dataflow
+//    substitution, DESIGN.md #7).
+
+#ifndef SRC_ALGO_LABEL_PROP_H_
+#define SRC_ALGO_LABEL_PROP_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/gen/graphs.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+
+enum class LabelScope : uint8_t { kPerContext, kGlobal };
+
+using NodeLabel = std::pair<uint64_t, uint64_t>;
+
+class LabelPropagateVertex final : public Binary2Vertex<Edge, NodeLabel, NodeLabel, NodeLabel> {
+ public:
+  explicit LabelPropagateVertex(LabelScope scope) : scope_(scope) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    State& st = StateFor(t);
+    for (const Edge& e : edges) {
+      st.adj[e.first].push_back(e.second);
+      const uint64_t lu = LabelOf(st, t, e.first);
+      // Propose u's label to v (v may live on another vertex).
+      output1().Send(t, {e.second, lu});
+    }
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<NodeLabel>& proposals) override {
+    State& st = StateFor(t);
+    for (const auto& [node, cand] : proposals) {
+      auto [it, fresh] = st.labels.try_emplace(node, node);
+      if (fresh) {
+        output2().Send(t, {node, it->second});
+      }
+      if (cand < it->second) {
+        it->second = cand;
+        output2().Send(t, {node, cand});
+        auto adj_it = st.adj.find(node);
+        if (adj_it != st.adj.end()) {
+          for (uint64_t nbr : adj_it->second) {
+            output1().Send(t, {nbr, cand});
+          }
+        }
+      }
+    }
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    w.WriteU32(static_cast<uint32_t>(contexts_.size()));
+    for (const auto& [key, st] : contexts_) {
+      key.Encode(w);
+      EncodeState(w, st);
+    }
+    EncodeState(w, global_);
+  }
+  bool Restore(ByteReader& r) override {
+    const uint32_t n = r.ReadU32();
+    for (uint32_t i = 0; i < n; ++i) {
+      Timestamp key;
+      if (!key.Decode(r) || !DecodeState(r, contexts_[key])) {
+        return false;
+      }
+    }
+    return DecodeState(r, global_);
+  }
+
+ private:
+  struct State {
+    std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+    std::unordered_map<uint64_t, uint64_t> labels;
+  };
+
+  static void EncodeState(ByteWriter& w, const State& st) {
+    std::map<uint64_t, std::vector<uint64_t>> adj(st.adj.begin(), st.adj.end());
+    std::map<uint64_t, uint64_t> labels(st.labels.begin(), st.labels.end());
+    Codec<decltype(adj)>::Encode(w, adj);
+    Codec<decltype(labels)>::Encode(w, labels);
+  }
+  static bool DecodeState(ByteReader& r, State& st) {
+    std::map<uint64_t, std::vector<uint64_t>> adj;
+    std::map<uint64_t, uint64_t> labels;
+    if (!Codec<decltype(adj)>::Decode(r, adj) || !Codec<decltype(labels)>::Decode(r, labels)) {
+      return false;
+    }
+    st.adj.insert(adj.begin(), adj.end());
+    st.labels.insert(labels.begin(), labels.end());
+    return true;
+  }
+
+  State& StateFor(const Timestamp& t) {
+    if (scope_ == LabelScope::kGlobal) {
+      return global_;
+    }
+    return contexts_[t.Popped()];  // keyed by the enclosing context's timestamp
+  }
+
+  uint64_t LabelOf(State& st, const Timestamp& t, uint64_t node) {
+    auto [it, fresh] = st.labels.try_emplace(node, node);
+    if (fresh) {
+      output2().Send(t, {node, node});
+    }
+    return it->second;
+  }
+
+  LabelScope scope_;
+  std::map<Timestamp, State> contexts_;
+  State global_;
+};
+
+// Wires a label-propagation loop around `edges` (at any depth): returns the stream of
+// accepted improvements (node, label), egressed to the edges' depth. Consumers reduce to
+// the final min per node (e.g. with GroupBy or MonotonicAggregate); the last improvement
+// per node per epoch is its component label.
+inline Stream<NodeLabel> PropagateMinLabels(const Stream<Edge>& edges, LabelScope scope) {
+  GraphBuilder& b = *edges.builder;
+  LoopContext loop(b, edges.depth, "labelprop");
+  FeedbackHandle<NodeLabel> fb = loop.NewFeedback<NodeLabel>();
+  Stream<Edge> in_loop =
+      loop.Ingress<Edge>(edges, [](const Edge& e) { return Mix64(e.first); });
+  StageId prop = b.NewStage<LabelPropagateVertex>(
+      StageOptions{.name = "labelprop", .depth = loop.inner_depth()},
+      [scope](uint32_t) { return std::make_unique<LabelPropagateVertex>(scope); });
+  b.Connect<LabelPropagateVertex, Edge>(in_loop, prop, 0);
+  b.Connect<LabelPropagateVertex, NodeLabel>(
+      fb.stream(), prop, 1, [](const NodeLabel& nl) { return Mix64(nl.first); });
+  fb.ConnectLoop(b.OutputOf<NodeLabel>(prop, 0),
+                 [](const NodeLabel& nl) { return Mix64(nl.first); });
+  return loop.Egress<NodeLabel>(b.OutputOf<NodeLabel>(prop, 1));
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_LABEL_PROP_H_

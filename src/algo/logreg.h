@@ -1,0 +1,178 @@
+// Distributed logistic regression (§6.2): the Vowpal Wabbit experiment.
+//
+// Phase structure per iteration, exactly as the paper's modified VW: (1) each worker
+// updates local weights from the last global gradient, (2) trains on its local shard, and
+// (3) an AllReduce combines the local gradients. Phases 1–2 run inside a Naiad vertex;
+// phase 3 is one of the two AllReduce libraries (chunked vs binary tree).
+//
+// One input epoch = one optimization iteration: the driver sends a "go" token per epoch
+// and waits for the epoch to drain, which is precisely when every worker holds the new
+// global gradient. The wait is part of the contract: deliveries are asynchronous across
+// times, so feeding epoch e+1 before probing epoch e could start phase 1 with a stale
+// gradient (a BSP driver never does this).
+
+#ifndef SRC_ALGO_LOGREG_H_
+#define SRC_ALGO_LOGREG_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/lib/allreduce.h"
+
+namespace naiad {
+
+struct LogRegShard {
+  std::vector<std::vector<double>> features;  // dense examples
+  std::vector<double> labels;                 // ±1
+};
+
+// Deterministic synthetic training data: a random ground-truth hyperplane plus noise.
+inline LogRegShard MakeLogRegShard(size_t examples, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> truth(dims);
+  Rng truth_rng(7);  // shared across shards
+  for (double& w : truth) {
+    w = truth_rng.NextDouble() * 2 - 1;
+  }
+  LogRegShard shard;
+  shard.features.reserve(examples);
+  shard.labels.reserve(examples);
+  for (size_t i = 0; i < examples; ++i) {
+    std::vector<double> x(dims);
+    double dot = 0;
+    for (size_t d = 0; d < dims; ++d) {
+      x[d] = rng.NextDouble() * 2 - 1;
+      dot += x[d] * truth[d];
+    }
+    shard.features.push_back(std::move(x));
+    shard.labels.push_back(dot + (rng.NextDouble() - 0.5) * 0.1 > 0 ? 1.0 : -1.0);
+  }
+  return shard;
+}
+
+// Phases 1+2: applies the previous global gradient, recomputes the local gradient over the
+// shard, chunks it into the AllReduce. Input: per-epoch "go" tokens (any payload). Input 2
+// (wired by BuildLogReg): the reduced global gradient from the AllReduce.
+class LogRegWorkerVertex final : public BinaryVertex<uint64_t, VecPiece, VecPiece> {
+ public:
+  LogRegWorkerVertex(LogRegShard shard, uint32_t dims, uint32_t chunks, bool tree_leaf,
+                     double lr)
+      : shard_(std::move(shard)),
+        weights_(dims, 0.0),
+        chunks_(chunks),
+        tree_leaf_(tree_leaf),
+        lr_(lr) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<uint64_t>& go) override {
+    // Phase 1: fold in the last global gradient (empty on the first iteration).
+    if (!last_global_.empty()) {
+      for (size_t d = 0; d < weights_.size(); ++d) {
+        weights_[d] -= lr_ * last_global_[d];
+      }
+    }
+    // Phase 2: local gradient of the logistic loss.
+    std::vector<double> grad(weights_.size(), 0.0);
+    for (size_t i = 0; i < shard_.features.size(); ++i) {
+      const auto& x = shard_.features[i];
+      double dot = 0;
+      for (size_t d = 0; d < x.size(); ++d) {
+        dot += x[d] * weights_[d];
+      }
+      const double y = shard_.labels[i];
+      const double g = -y / (1.0 + std::exp(y * dot));
+      for (size_t d = 0; d < x.size(); ++d) {
+        grad[d] += g * x[d];
+      }
+    }
+    // Phase 3 entry: tree leaves ship the whole vector tagged with their participant id;
+    // the chunked variant scatters `chunks_` pieces.
+    if (tree_leaf_) {
+      output().Send(t, VecPiece{address().index, 0, std::move(grad)});
+      return;
+    }
+    const size_t per = (grad.size() + chunks_ - 1) / chunks_;
+    for (uint32_t c = 0; c < chunks_; ++c) {
+      const size_t lo = c * per;
+      if (lo >= grad.size()) {
+        break;
+      }
+      const size_t hi = std::min(grad.size(), lo + per);
+      output().Send(t, VecPiece{c, 0, std::vector<double>(grad.begin() + lo,
+                                                          grad.begin() + hi)});
+    }
+  }
+
+  // Reduced pieces come back; reassemble the global gradient for the next iteration.
+  void OnRecv2(const Timestamp& t, std::vector<VecPiece>& pieces) override {
+    if (last_global_.size() != weights_.size()) {
+      last_global_.assign(weights_.size(), 0.0);
+    }
+    const size_t per = (weights_.size() + chunks_ - 1) / chunks_;
+    for (const VecPiece& p : pieces) {
+      const size_t lo = ChunkBase(p.slot, per);
+      for (size_t i = 0; i < p.values.size() && lo + i < last_global_.size(); ++i) {
+        last_global_[lo + i] = p.values[i];
+      }
+    }
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  // In the tree variant every slot collapses to the participant id; pieces then carry the
+  // whole vector, so slot 0 maps to offset 0 either way.
+  size_t ChunkBase(uint32_t slot, size_t per) const {
+    return static_cast<size_t>(slot) * per < weights_.size()
+               ? static_cast<size_t>(slot) * per
+               : 0;
+  }
+
+  LogRegShard shard_;
+  std::vector<double> weights_;
+  std::vector<double> last_global_;
+  uint32_t chunks_;
+  bool tree_leaf_;
+  double lr_;
+};
+
+enum class AllReduceKind : uint8_t { kChunked, kTree };
+
+// Builds the full per-iteration pipeline inside a loop context (the reduced gradient
+// returns to the workers along a feedback edge, as timely dataflow's cycle rule requires).
+// The driver feeds exactly `participants` tokens per epoch on `go`; the input stage's
+// round-robin chunking delivers one to each worker vertex. Returns a stream carrying the
+// epoch's reduced pieces at the outer depth — probe it to wait for an iteration.
+inline Stream<VecPiece> BuildLogReg(const Stream<uint64_t>& go, uint32_t participants,
+                                    uint32_t dims, size_t examples_per_worker,
+                                    AllReduceKind kind, double lr = 0.1) {
+  GraphBuilder& b = *go.builder;
+  const bool tree = kind == AllReduceKind::kTree;
+  const uint32_t chunks = tree ? 1 : participants;
+  LoopContext loop(b, go.depth, "logreg");
+  FeedbackHandle<VecPiece> fb = loop.NewFeedback<VecPiece>();
+  Stream<uint64_t> go_in = loop.Ingress<uint64_t>(go);
+  StageId worker = b.NewStage<LogRegWorkerVertex>(
+      StageOptions{.name = "logreg", .depth = loop.inner_depth(),
+                   .parallelism = participants},
+      [=](uint32_t index) {
+        return std::make_unique<LogRegWorkerVertex>(
+            MakeLogRegShard(examples_per_worker, dims, 1000 + index), dims, chunks, tree,
+            lr);
+      });
+  b.Connect<LogRegWorkerVertex, uint64_t>(go_in, worker, 0);  // round-robin, one each
+  Stream<VecPiece> local = b.OutputOf<VecPiece>(worker);
+  Stream<VecPiece> reduced = tree ? TreeAllReduce(local, participants)
+                                  : ChunkedAllReduce(local, participants);
+  fb.ConnectLoop(reduced, [](const VecPiece& p) { return uint64_t{p.target}; });
+  b.Connect<LogRegWorkerVertex, VecPiece>(
+      fb.stream(), worker, 1, [](const VecPiece& p) { return uint64_t{p.target}; });
+  return loop.Egress<VecPiece>(reduced);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_LOGREG_H_

@@ -1,0 +1,323 @@
+// PageRank (§6.1, Fig. 7a) — two "native" timely dataflow implementations:
+//
+//  * Vertex variant: edges partitioned by source node (the paper's 30-line version).
+//    Each physical vertex owns a shard of nodes; one loop iteration = one synchronous
+//    PageRank iteration, coordinated by chained notifications.
+//  * Edge variant: edges partitioned into 2D blocks along a space-filling curve (the
+//    paper's 547-line version, "similar in spirit to PowerGraph's edge partitioning").
+//    A block stage turns rank messages into per-destination partial sums, so high-degree
+//    nodes' traffic scales with the number of blocks touching them rather than with their
+//    degree.
+//
+// The Pregel variant lives in src/lib/pregel.h; the PowerGraph-style shared-memory GAS
+// baseline in src/baseline/gas_engine.h.
+
+#ifndef SRC_ALGO_PAGERANK_H_
+#define SRC_ALGO_PAGERANK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/gen/graphs.h"
+
+namespace naiad {
+
+using NodeRank = std::pair<uint64_t, double>;
+
+inline constexpr double kPrDamping = 0.85;
+inline constexpr double kPrBase = 0.15;
+
+// ---------------------------------------------------------------------------------------
+// Vertex variant.
+// ---------------------------------------------------------------------------------------
+
+class PageRankVertex final : public Binary2Vertex<Edge, NodeRank, NodeRank, NodeRank> {
+ public:
+  explicit PageRankVertex(uint64_t iters) : iters_(iters) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    Ctx& c = ctx_[t.Popped()];
+    for (const Edge& e : edges) {
+      c.nodes[e.first].out.push_back(e.second);
+    }
+    if (!c.kicked) {
+      c.kicked = true;
+      NotifyAt(t);  // t == (e, 0): edges only enter at iteration 0
+    }
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<NodeRank>& contribs) override {
+    // Deliveries are asynchronous across iterations (§2.2): a contribution for iteration
+    // i+1 may arrive before OnNotify(i), so accumulation is keyed by timestamp.
+    Ctx& c = ctx_[t.Popped()];
+    auto& acc = c.acc[t];
+    for (const auto& [node, val] : contribs) {
+      acc[node] += val;
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    Ctx& c = ctx_[t.Popped()];
+    const uint64_t iter = t.coords.back();
+    if (iter > 0) {
+      auto it = c.acc.find(t);
+      for (auto& [id, n] : c.nodes) {
+        n.rank = kPrBase;
+      }
+      if (it != c.acc.end()) {
+        for (const auto& [node, sum] : it->second) {
+          Node& n = c.nodes[node];
+          n.rank = kPrBase + kPrDamping * sum;
+        }
+        c.acc.erase(it);
+      }
+    }
+    if (iter + 1 < iters_) {
+      for (const auto& [id, n] : c.nodes) {
+        if (!n.out.empty()) {
+          const double share = n.rank / static_cast<double>(n.out.size());
+          for (uint64_t dst : n.out) {
+            output1().Send(t, {dst, share});  // feedback: arrives at iteration iter+1
+          }
+        }
+      }
+      NotifyAt(t.Incremented());
+    } else {
+      for (const auto& [id, n] : c.nodes) {
+        output2().Send(t, {id, n.rank});
+      }
+      ctx_.erase(t.Popped());
+    }
+  }
+
+ private:
+  struct Node {
+    std::vector<uint64_t> out;
+    double rank = 1.0;
+  };
+  struct Ctx {
+    std::unordered_map<uint64_t, Node> nodes;
+    std::map<Timestamp, std::unordered_map<uint64_t, double>> acc;
+    bool kicked = false;
+  };
+
+  uint64_t iters_;
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+// Builds the vertex-partitioned PageRank loop; emits final (node, rank) pairs per epoch.
+inline Stream<NodeRank> PageRank(const Stream<Edge>& edges, uint64_t iters) {
+  GraphBuilder& b = *edges.builder;
+  LoopContext loop(b, edges.depth, "pagerank");
+  FeedbackHandle<NodeRank> fb = loop.NewFeedback<NodeRank>();
+  Stream<Edge> in_loop =
+      loop.Ingress<Edge>(edges, [](const Edge& e) { return Mix64(e.first); });
+  StageId pr = b.NewStage<PageRankVertex>(
+      StageOptions{.name = "pagerank", .depth = loop.inner_depth()},
+      [iters](uint32_t) { return std::make_unique<PageRankVertex>(iters); });
+  b.Connect<PageRankVertex, Edge>(in_loop, pr, 0);
+  b.Connect<PageRankVertex, NodeRank>(fb.stream(), pr, 1,
+                                      [](const NodeRank& nr) { return Mix64(nr.first); });
+  fb.ConnectLoop(b.OutputOf<NodeRank>(pr, 0),
+                 [](const NodeRank& nr) { return Mix64(nr.first); });
+  return loop.Egress<NodeRank>(b.OutputOf<NodeRank>(pr, 1));
+}
+
+// ---------------------------------------------------------------------------------------
+// Edge variant: 2D block partitioning along a Morton (Z-order) space-filling curve.
+// ---------------------------------------------------------------------------------------
+
+// (node, block, degree-in-block) — a block registers how many of node's out-edges it holds.
+using PrRegistration = std::tuple<uint64_t, uint64_t, uint64_t>;
+// (block, node, contribution) — a node ships rank/degree once per block that needs it.
+using PrRankMsg = std::tuple<uint64_t, uint64_t, double>;
+// (dst node, partial sum) — a block pre-aggregates contributions per destination.
+using PrPartial = std::pair<uint64_t, double>;
+
+inline uint64_t MortonBlock(uint64_t src, uint64_t dst, uint32_t grid_bits) {
+  const uint64_t x = Mix64(src) >> (64 - grid_bits);
+  const uint64_t y = Mix64(dst) >> (64 - grid_bits);
+  uint64_t z = 0;
+  for (uint32_t i = 0; i < grid_bits; ++i) {
+    z |= ((x >> i) & 1) << (2 * i);
+    z |= ((y >> i) & 1) << (2 * i + 1);
+  }
+  return z;
+}
+
+class PrBlockVertex final : public Binary2Vertex<Edge, PrRankMsg, PrRegistration, PrPartial> {
+ public:
+  explicit PrBlockVertex(uint32_t grid_bits) : grid_bits_(grid_bits) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    Ctx& c = ctx_[t.Popped()];
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> reg;  // (node, block) -> count
+    for (const Edge& e : edges) {
+      const uint64_t block = MortonBlock(e.first, e.second, grid_bits_);
+      // Several blocks can land on one physical vertex; adjacency stays per block so a
+      // rank message addressed to one block never touches another block's edges.
+      c.adj[{block, e.first}].push_back(e.second);
+      ++reg[{e.first, block}];
+    }
+    for (const auto& [key, count] : reg) {
+      output1().Send(t, {key.first, key.second, count});
+    }
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<PrRankMsg>& msgs) override {
+    Ctx& c = ctx_[t.Popped()];
+    if (!c.notified.contains(t)) {
+      c.notified.insert(t);
+      NotifyAt(t);
+    }
+    auto& partials = c.partials[t];  // keyed by time: later iterations may arrive early
+    for (const auto& [block, node, val] : msgs) {
+      auto it = c.adj.find({block, node});
+      if (it == c.adj.end()) {
+        continue;
+      }
+      for (uint64_t dst : it->second) {
+        partials[dst] += val;
+      }
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    Ctx& c = ctx_[t.Popped()];
+    auto it = c.partials.find(t);
+    if (it != c.partials.end()) {
+      for (const auto& [dst, sum] : it->second) {
+        output2().Send(t, {dst, sum});
+      }
+      c.partials.erase(it);
+    }
+    c.notified.erase(t);
+  }
+
+ private:
+  struct Ctx {
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<uint64_t>> adj;  // (block, node)
+    std::map<Timestamp, std::unordered_map<uint64_t, double>> partials;
+    std::set<Timestamp> notified;
+  };
+
+  uint32_t grid_bits_;
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+class PrNodeVertex final : public Binary2Vertex<PrRegistration, PrPartial, PrRankMsg, NodeRank> {
+ public:
+  explicit PrNodeVertex(uint64_t iters) : iters_(iters) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<PrRegistration>& regs) override {
+    Ctx& c = ctx_[t.Popped()];
+    for (const auto& [node, block, count] : regs) {
+      Node& n = c.nodes[node];
+      n.blocks.push_back(block);
+      n.degree += count;
+    }
+    if (!c.kicked) {
+      c.kicked = true;
+      NotifyAt(t);
+    }
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<PrPartial>& partials) override {
+    Ctx& c = ctx_[t.Popped()];
+    auto& acc = c.acc[t];  // keyed by time: later iterations may arrive early
+    for (const auto& [node, val] : partials) {
+      acc[node] += val;
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    Ctx& c = ctx_[t.Popped()];
+    const uint64_t iter = t.coords.back();
+    if (iter > 0) {
+      for (auto& [id, n] : c.nodes) {
+        n.rank = kPrBase;
+      }
+      auto it = c.acc.find(t);
+      if (it != c.acc.end()) {
+        for (const auto& [node, sum] : it->second) {
+          c.nodes[node].rank = kPrBase + kPrDamping * sum;
+        }
+        c.acc.erase(it);
+      }
+    }
+    if (iter + 1 < iters_) {
+      for (const auto& [id, n] : c.nodes) {
+        if (n.degree > 0) {
+          const double share = n.rank / static_cast<double>(n.degree);
+          for (uint64_t block : n.blocks) {
+            output1().Send(t, {block, id, share});
+          }
+        }
+      }
+      NotifyAt(t.Incremented());
+    } else {
+      for (const auto& [id, n] : c.nodes) {
+        output2().Send(t, {id, n.rank});
+      }
+      ctx_.erase(t.Popped());
+    }
+  }
+
+ private:
+  struct Node {
+    std::vector<uint64_t> blocks;
+    uint64_t degree = 0;
+    double rank = 1.0;
+  };
+  struct Ctx {
+    std::unordered_map<uint64_t, Node> nodes;
+    std::map<Timestamp, std::unordered_map<uint64_t, double>> acc;
+    bool kicked = false;
+  };
+
+  uint64_t iters_;
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+inline Stream<NodeRank> PageRankEdgePartitioned(const Stream<Edge>& edges, uint64_t iters,
+                                                uint32_t grid_bits = 3) {
+  GraphBuilder& b = *edges.builder;
+  LoopContext loop(b, edges.depth, "pagerank-edge");
+  FeedbackHandle<PrRankMsg> fb = loop.NewFeedback<PrRankMsg>();
+  Stream<Edge> in_loop = loop.Ingress<Edge>(edges, [grid_bits](const Edge& e) {
+    return MortonBlock(e.first, e.second, grid_bits);
+  });
+
+  StageId blocks = b.NewStage<PrBlockVertex>(
+      StageOptions{.name = "pr-blocks", .depth = loop.inner_depth()},
+      [grid_bits](uint32_t) { return std::make_unique<PrBlockVertex>(grid_bits); });
+  StageId nodes = b.NewStage<PrNodeVertex>(
+      StageOptions{.name = "pr-nodes", .depth = loop.inner_depth()},
+      [iters](uint32_t) { return std::make_unique<PrNodeVertex>(iters); });
+
+  b.Connect<PrBlockVertex, Edge>(in_loop, blocks, 0);
+  b.Connect<PrBlockVertex, PrRankMsg>(
+      fb.stream(), blocks, 1,
+      [](const PrRankMsg& m) { return std::get<0>(m); });
+  b.Connect<PrNodeVertex, PrRegistration>(
+      b.OutputOf<PrRegistration>(blocks, 0), nodes, 0,
+      [](const PrRegistration& r) { return Mix64(std::get<0>(r)); });
+  b.Connect<PrNodeVertex, PrPartial>(
+      b.OutputOf<PrPartial>(blocks, 1), nodes, 1,
+      [](const PrPartial& p) { return Mix64(p.first); });
+  fb.ConnectLoop(b.OutputOf<PrRankMsg>(nodes, 0),
+                 [](const PrRankMsg& m) { return std::get<0>(m); });
+  return loop.Egress<NodeRank>(b.OutputOf<NodeRank>(nodes, 1));
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_PAGERANK_H_

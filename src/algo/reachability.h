@@ -1,0 +1,52 @@
+// Datalog-style queries from the Bloom subset (§4.2): "the LINQ operators Where, Concat,
+// Distinct, and Join are sufficient, within a loop, to implement Datalog-style queries.
+// None of these operators invokes NotifyAt, and subgraphs using only these will execute
+// asynchronously (without coordination) on Naiad."
+//
+// Transitive closure as the canonical example:
+//
+//     paths(x, y) :- edges(x, y).
+//     paths(x, z) :- paths(x, y), edges(y, z).
+//
+// built exactly from that operator set: an accumulating Join extends circulating paths by
+// one hop, AsyncDistinct performs the semi-naive deduplication that makes the fixpoint
+// terminate, and Concat seeds the loop. The enclosing frontier machinery still reports
+// exact per-epoch completion even though nothing inside the loop coordinates.
+
+#ifndef SRC_ALGO_REACHABILITY_H_
+#define SRC_ALGO_REACHABILITY_H_
+
+#include "src/core/loop.h"
+#include "src/gen/graphs.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+// All reachable (x, z) pairs. kPerEpoch computes the closure of each epoch's edges in
+// isolation; kGlobal evaluates incrementally over a monotonically growing edge set
+// (paths already derived in earlier epochs are not re-derived).
+inline Stream<Edge> TransitiveClosure(const Stream<Edge>& edges,
+                                      StateScope scope = StateScope::kPerEpoch) {
+  GraphBuilder& b = *edges.builder;
+  Partitioner<Edge> by_dst = [](const Edge& e) { return Mix64(e.second); };
+  LoopContext loop(b, edges.depth, "tc");
+  FeedbackHandle<Edge> fb = loop.NewFeedback<Edge>();
+  Stream<Edge> base = loop.Ingress<Edge>(edges, by_dst);
+
+  // paths ⋈ edges on path.dst == edge.src. The edge relation accumulates (it enters at
+  // iteration 0 and must stay joinable at every later iteration and epoch).
+  Stream<Edge> extended = Join(
+      fb.stream(), base, [](const Edge& p) { return p.second; },
+      [](const Edge& e) { return e.first; },
+      [](const Edge& p, const Edge& e) { return Edge{p.first, e.second}; },
+      scope == StateScope::kGlobal ? JoinMode::kAccumulating
+                                   : JoinMode::kPerEpochAccumulating);
+
+  Stream<Edge> fresh = AsyncDistinct(Concat<Edge>(base, extended), scope);
+  fb.ConnectLoop(fresh, by_dst);
+  return loop.Egress<Edge>(fresh);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_REACHABILITY_H_

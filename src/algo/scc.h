@@ -1,0 +1,88 @@
+// Strongly connected components (Table 1) via forward/backward trimming in *nested* loops
+// — the paper's flagship use of doubly-nested iteration (its SCC is 161 lines).
+//
+// One outer round applies TrimByLabels twice:
+//   1. propagate min labels along edge direction (an inner loop, asynchronous);
+//   2. keep only edges whose endpoints agree on the label (they may share an SCC);
+//   3. transpose the surviving edges.
+// Two trims therefore restore the original orientation while discarding edges that cannot
+// lie on any directed cycle. Iterating the outer loop converges to exactly the union of
+// SCC edges; a final undirected label propagation names the components.
+//
+// The outer loop runs a fixed number of rounds (edges would otherwise circulate forever at
+// the fixed point); a handful of rounds suffices for random graphs.
+
+#ifndef SRC_ALGO_SCC_H_
+#define SRC_ALGO_SCC_H_
+
+#include <tuple>
+#include <vector>
+
+#include "src/algo/label_prop.h"
+#include "src/algo/wcc.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+// Final min label per node at each timestamp (coordinated reduction of the asynchronous
+// improvement stream).
+inline Stream<NodeLabel> MinLabelPerNode(const Stream<NodeLabel>& improvements) {
+  return GroupBy(
+      improvements, [](const NodeLabel& nl) { return nl.first; },
+      [](const uint64_t& node, std::vector<NodeLabel>& labels) {
+        uint64_t best = labels.front().second;
+        for (const NodeLabel& nl : labels) {
+          best = std::min(best, nl.second);
+        }
+        return std::vector<NodeLabel>{{node, best}};
+      });
+}
+
+// Keeps edges whose endpoints share a forward min label, transposed.
+inline Stream<Edge> TrimByLabels(const Stream<Edge>& edges) {
+  Stream<NodeLabel> labels = MinLabelPerNode(PropagateMinLabels(edges, LabelScope::kPerContext));
+  using EdgeLabel = std::pair<Edge, uint64_t>;
+  Stream<EdgeLabel> with_src = Join(
+      edges, labels, [](const Edge& e) { return e.first; },
+      [](const NodeLabel& nl) { return nl.first; },
+      [](const Edge& e, const NodeLabel& nl) { return EdgeLabel{e, nl.second}; });
+  using EdgeLabel2 = std::tuple<Edge, uint64_t, uint64_t>;
+  Stream<EdgeLabel2> with_both = Join(
+      with_src, labels, [](const EdgeLabel& el) { return el.first.second; },
+      [](const NodeLabel& nl) { return nl.first; },
+      [](const EdgeLabel& el, const NodeLabel& nl) {
+        return EdgeLabel2{el.first, el.second, nl.second};
+      });
+  return Select(Where(with_both,
+                      [](const EdgeLabel2& e2) { return std::get<1>(e2) == std::get<2>(e2); }),
+                [](const EdgeLabel2& e2) {
+                  const Edge& e = std::get<0>(e2);
+                  return Edge{e.second, e.first};  // transpose
+                });
+}
+
+// Edges lying within strongly connected components (after `rounds` outer refinements).
+// Only the final round's edge set leaves the loop: earlier rounds' supersets are
+// intermediate and must not leak to consumers.
+inline Stream<Edge> SccEdges(const Stream<Edge>& edges, uint64_t rounds = 4) {
+  GraphBuilder& b = *edges.builder;
+  Partitioner<Edge> part = [](const Edge& e) { return Mix64(e.first); };
+  LoopContext loop(b, edges.depth, "scc");
+  FeedbackHandle<Edge> fb = loop.NewFeedback<Edge>(rounds);
+  Stream<Edge> merged = Concat<Edge>(loop.Ingress<Edge>(edges, part), fb.stream());
+  Stream<Edge> result = TrimByLabels(TrimByLabels(merged));
+  fb.ConnectLoop(result, part);
+  Stream<Edge> final_round = WhereTime(
+      result, [rounds](const Timestamp& t) { return t.coords.back() == rounds - 1; });
+  return loop.Egress<Edge>(final_round);
+}
+
+// (node, component) labels for every node on a non-trivial SCC.
+inline Stream<NodeLabel> StronglyConnectedComponents(const Stream<Edge>& edges,
+                                                     uint64_t rounds = 4) {
+  return ConnectedComponents(SccEdges(edges, rounds));
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_SCC_H_

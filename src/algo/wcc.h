@@ -1,0 +1,49 @@
+// Weakly connected components (§5.3, §5.4, Table 1, §6.4).
+//
+// Undirected min-label propagation: symmetrize the edges, run the asynchronous label-prop
+// loop, and reduce the improvement stream to the final minimum label per node.
+//
+// The paper's WCC implementation is 49 lines of non-library code; this one is of the same
+// order because everything heavy lives in the library (label_prop.h, keyed_ops.h).
+
+#ifndef SRC_ALGO_WCC_H_
+#define SRC_ALGO_WCC_H_
+
+#include <vector>
+
+#include "src/algo/label_prop.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+// Batch WCC: per-epoch components of the edges supplied in that epoch. Emits the final
+// (node, component) pairs once per epoch on completeness.
+inline Stream<NodeLabel> ConnectedComponents(const Stream<Edge>& edges) {
+  Stream<Edge> sym = SelectMany(edges, [](const Edge& e) {
+    return std::vector<Edge>{e, {e.second, e.first}};
+  });
+  Stream<NodeLabel> improvements = PropagateMinLabels(sym, LabelScope::kPerContext);
+  return GroupBy(
+      improvements, [](const NodeLabel& nl) { return nl.first; },
+      [](const uint64_t& node, std::vector<NodeLabel>& labels) {
+        uint64_t best = labels.front().second;
+        for (const NodeLabel& nl : labels) {
+          best = std::min(best, nl.second);
+        }
+        return std::vector<NodeLabel>{{node, best}};
+      });
+}
+
+// Incremental WCC over a monotonically growing edge set (§6.4): labels persist across
+// epochs and only improvements circulate when new edges arrive. The output stream carries
+// label *improvements*; consumers keep the latest value per node (monotone decreasing).
+inline Stream<NodeLabel> IncrementalConnectedComponents(const Stream<Edge>& edges) {
+  Stream<Edge> sym = SelectMany(edges, [](const Edge& e) {
+    return std::vector<Edge>{e, {e.second, e.first}};
+  });
+  return PropagateMinLabels(sym, LabelScope::kGlobal);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_WCC_H_

@@ -1,0 +1,45 @@
+// WordCount (§5.4): the embarrassingly-parallel MapReduce benchmark.
+//
+// Split lines into words, pre-aggregate locally (the "combiner" §5.4 credits for
+// WordCount's good weak scaling — it shrinks the exchange), then sum partial counts after
+// a hash exchange on the word.
+
+#ifndef SRC_ALGO_WORDCOUNT_H_
+#define SRC_ALGO_WORDCOUNT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/gen/text.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+
+using WordCountRecord = std::pair<std::string, uint64_t>;
+
+inline Stream<WordCountRecord> WordCount(const Stream<std::string>& lines) {
+  Stream<std::string> words = SelectMany(lines, SplitWords);
+  // Local combiner: Count without a partitioner leaves records on the sending worker.
+  GraphBuilder& b = *lines.builder;
+  using Combiner = CountByVertex<std::string, std::string>;
+  StageId local = b.NewStage<Combiner>(
+      StageOptions{.name = "combine", .depth = lines.depth}, [](uint32_t) {
+        return std::make_unique<Combiner>([](const std::string& w) { return w; });
+      });
+  b.Connect<Combiner, std::string>(words, local);  // no exchange
+  Stream<WordCountRecord> partial = b.OutputOf<WordCountRecord>(local);
+  // Global sum after the exchange.
+  return GroupBy(
+      partial, [](const WordCountRecord& wc) { return wc.first; },
+      [](const std::string& w, std::vector<WordCountRecord>& parts) {
+        uint64_t total = 0;
+        for (const WordCountRecord& p : parts) {
+          total += p.second;
+        }
+        return std::vector<WordCountRecord>{{w, total}};
+      });
+}
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_WORDCOUNT_H_

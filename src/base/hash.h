@@ -1,0 +1,42 @@
+// Hashing utilities: partitioning functions for exchange connectors (§3.1) and hash-map
+// keys for pointstamps. Partitioning must be identical across processes, so we avoid
+// std::hash (implementation-defined) for anything that crosses the wire.
+
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace naiad {
+
+// 64-bit finalizer (from MurmurHash3): turns a value with low entropy spread into a
+// well-mixed hash. Deterministic across platforms.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+// FNV-1a over bytes; deterministic across platforms.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h = (h ^ c) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(const std::string& s) { return HashBytes(std::string_view(s)); }
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_HASH_H_

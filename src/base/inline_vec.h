@@ -1,0 +1,91 @@
+// A fixed-capacity vector with inline storage.
+//
+// Timestamps carry at most kMaxLoopDepth loop counters (§2.1 of the paper), so the runtime
+// never needs heap allocation for them; InlineVec gives timestamps value semantics, trivial
+// copyability for trivially-copyable T, and cheap equality/lexicographic comparison.
+
+#ifndef SRC_BASE_INLINE_VEC_H_
+#define SRC_BASE_INLINE_VEC_H_
+
+#include <algorithm>
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+template <typename T, uint32_t Capacity>
+class InlineVec {
+ public:
+  constexpr InlineVec() = default;
+  constexpr InlineVec(std::initializer_list<T> init) {
+    NAIAD_CHECK(init.size() <= Capacity);
+    for (const T& v : init) {
+      items_[size_++] = v;
+    }
+  }
+
+  constexpr uint32_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  static constexpr uint32_t capacity() { return Capacity; }
+
+  constexpr T& operator[](uint32_t i) {
+    NAIAD_DCHECK(i < size_);
+    return items_[i];
+  }
+  constexpr const T& operator[](uint32_t i) const {
+    NAIAD_DCHECK(i < size_);
+    return items_[i];
+  }
+
+  constexpr T& back() {
+    NAIAD_DCHECK(size_ > 0);
+    return items_[size_ - 1];
+  }
+  constexpr const T& back() const {
+    NAIAD_DCHECK(size_ > 0);
+    return items_[size_ - 1];
+  }
+
+  constexpr void push_back(const T& v) {
+    NAIAD_CHECK(size_ < Capacity);
+    items_[size_++] = v;
+  }
+  constexpr void pop_back() {
+    NAIAD_DCHECK(size_ > 0);
+    --size_;
+  }
+  constexpr void resize(uint32_t n, const T& fill = T{}) {
+    NAIAD_CHECK(n <= Capacity);
+    for (uint32_t i = size_; i < n; ++i) {
+      items_[i] = fill;
+    }
+    size_ = n;
+  }
+  constexpr void clear() { size_ = 0; }
+
+  constexpr const T* begin() const { return items_.data(); }
+  constexpr const T* end() const { return items_.data() + size_; }
+  constexpr T* begin() { return items_.data(); }
+  constexpr T* end() { return items_.data() + size_; }
+
+  friend constexpr bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  // Lexicographic; shorter prefixes compare less. Used for total (container) orderings.
+  friend constexpr std::strong_ordering operator<=>(const InlineVec& a, const InlineVec& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::array<T, Capacity> items_{};
+  uint32_t size_ = 0;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_INLINE_VEC_H_

@@ -1,0 +1,61 @@
+// Minimal assertion and logging support for the Naiad runtime.
+//
+// NAIAD_CHECK is always on (release builds included): the runtime's progress-tracking
+// invariants are cheap to test and catastrophic to violate silently. NAIAD_DCHECK compiles
+// out in NDEBUG builds and is used on hot paths.
+
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace naiad {
+
+namespace log_detail {
+
+// Accumulates a failure message; aborts on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": check failed: " << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed message in the passing case without evaluating operands.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_detail
+
+#define NAIAD_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                             \
+         : ::naiad::log_detail::Voidify() &                                    \
+               ::naiad::log_detail::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#ifdef NDEBUG
+#define NAIAD_DCHECK(cond) NAIAD_CHECK(true || (cond))
+#else
+#define NAIAD_DCHECK(cond) NAIAD_CHECK(cond)
+#endif
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,52 @@
+// Buffer pooling (§3.5, "Garbage collection"): the original Naiad recycles message buffers
+// to keep .NET GC pauses off the critical path. The C++ analogue is avoiding repeated
+// allocator round-trips for the per-bundle record vectors the runtime churns through.
+
+#ifndef SRC_BASE_POOL_H_
+#define SRC_BASE_POOL_H_
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace naiad {
+
+// A thread-safe free list of std::vector<T> buffers. Get() returns an empty vector with
+// whatever capacity a previous user left behind; Put() recycles it.
+template <typename T>
+class BufferPool {
+ public:
+  explicit BufferPool(size_t max_pooled = 1024) : max_pooled_(max_pooled) {}
+
+  std::vector<T> Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      return {};
+    }
+    std::vector<T> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  void Put(std::vector<T> buf) {
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < max_pooled_) {
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  size_t PooledCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_pooled_;
+  std::vector<std::vector<T>> free_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_POOL_H_

@@ -1,0 +1,83 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All generators in src/gen seed from explicit values so every experiment is reproducible
+// run-to-run and process-to-process (SPMD graph construction requires all processes to
+// synthesize identical inputs when they share a seed).
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+// splitmix64: tiny, fast, passes BigCrush when used as a stream; ideal for seeding and for
+// workload synthesis where statistical perfection is not required.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). Bias is negligible for bound << 2^64.
+  uint64_t Below(uint64_t bound) {
+    NAIAD_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf-distributed sampler over {0, .., n-1} with exponent s, via inverse-CDF over a
+// precomputed table. Used for skewed degree distributions and word frequencies.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s, uint64_t seed) : rng_(seed), cdf_(n) {
+    NAIAD_CHECK(n > 0);
+    double total = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      cdf_[i] /= total;
+    }
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,70 @@
+// Wall-clock timing and summary statistics for the benchmark harnesses (§5, §6).
+
+#ifndef SRC_BASE_STOPWATCH_H_
+#define SRC_BASE_STOPWATCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Percentile summary over a sample set; the paper reports median/quartiles/95th (Fig. 6b)
+// and latency CDFs (Fig. 7c).
+class SampleStats {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+  size_t Count() const { return samples_.size(); }
+
+  double Percentile(double p) {
+    NAIAD_CHECK(!samples_.empty());
+    NAIAD_CHECK(p >= 0.0 && p <= 100.0);
+    std::sort(samples_.begin(), samples_.end());
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50.0); }
+
+  double Mean() const {
+    NAIAD_CHECK(!samples_.empty());
+    double total = 0;
+    for (double v : samples_) {
+      total += v;
+    }
+    return total / static_cast<double>(samples_.size());
+  }
+
+  double Min() { return Percentile(0.0); }
+  double Max() { return Percentile(100.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_BASE_STOPWATCH_H_

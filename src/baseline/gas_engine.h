@@ -1,0 +1,95 @@
+// A PowerGraph-style synchronous Gather-Apply-Scatter engine (Fig. 7a comparator;
+// DESIGN.md substitution #4).
+//
+// Shared-memory, edge-sharded, barrier-per-phase: each of N threads owns a shard of edges;
+// GATHER accumulates per-shard partial sums (the vertex-cut trick), APPLY folds partials
+// into vertex values, SCATTER is implicit for PageRank (every vertex re-emits). This is a
+// faithful miniature of the PowerGraph execution model for the comparison's purposes: the
+// same numerical iteration as the Naiad variants, scheduled as a synchronous GAS program.
+
+#ifndef SRC_BASELINE_GAS_ENGINE_H_
+#define SRC_BASELINE_GAS_ENGINE_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gen/graphs.h"
+
+namespace naiad {
+
+class GasPageRank {
+ public:
+  GasPageRank(const std::vector<Edge>& edges, uint32_t threads)
+      : threads_(threads == 0 ? 1 : threads) {
+    uint64_t max_node = 0;
+    for (const Edge& e : edges) {
+      max_node = std::max({max_node, e.first, e.second});
+    }
+    n_ = max_node + 1;
+    degree_.assign(n_, 0);
+    for (const Edge& e : edges) {
+      ++degree_[e.first];
+    }
+    shards_.resize(threads_);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      shards_[i % threads_].push_back(edges[i]);
+    }
+    rank_.assign(n_, 1.0);
+  }
+
+  // Runs `iters` synchronous GAS iterations; returns final ranks.
+  const std::vector<double>& Run(uint64_t iters) {
+    std::vector<std::vector<double>> partials(threads_, std::vector<double>(n_, 0.0));
+    next_.assign(n_, 0.0);
+    std::barrier sync(static_cast<ptrdiff_t>(threads_));
+    std::vector<std::thread> pool;
+    for (uint32_t tid = 0; tid < threads_; ++tid) {
+      pool.emplace_back([&, tid] {
+        for (uint64_t it = 0; it < iters; ++it) {
+          // GATHER: per-shard partial sums over in-edges.
+          std::vector<double>& part = partials[tid];
+          std::fill(part.begin(), part.end(), 0.0);
+          for (const Edge& e : shards_[tid]) {
+            part[e.second] += rank_[e.first] / static_cast<double>(degree_[e.first]);
+          }
+          sync.arrive_and_wait();
+          // APPLY: each thread owns a contiguous slice of vertices.
+          const uint64_t lo = n_ * tid / threads_;
+          const uint64_t hi = n_ * (tid + 1) / threads_;
+          for (uint64_t v = lo; v < hi; ++v) {
+            double acc = 0;
+            for (uint32_t s = 0; s < threads_; ++s) {
+              acc += partials[s][v];
+            }
+            next_[v] = 0.15 + 0.85 * acc;
+          }
+          sync.arrive_and_wait();
+          if (tid == 0) {
+            rank_.swap(next_);
+          }
+          sync.arrive_and_wait();
+        }
+      });
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+    return rank_;
+  }
+
+ private:
+  uint32_t threads_;
+  uint64_t n_ = 0;
+  std::vector<uint64_t> degree_;
+  std::vector<std::vector<Edge>> shards_;
+  std::vector<double> rank_;
+  std::vector<double> next_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_BASELINE_GAS_ENGINE_H_

@@ -1,0 +1,213 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <tuple>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+namespace {
+uint64_t VertexKey(StageId s, uint32_t index) {
+  return (static_cast<uint64_t>(s) << 32) | index;
+}
+}  // namespace
+
+Controller::Controller(Config cfg)
+    : cfg_(cfg), tracker_(&graph_, &event_), local_router_(&tracker_) {
+  NAIAD_CHECK(cfg_.workers_per_process > 0);
+  NAIAD_CHECK(cfg_.processes > 0);
+  NAIAD_CHECK(cfg_.process_id < cfg_.processes);
+  progress_router_ = &local_router_;
+  workers_.reserve(cfg_.workers_per_process);
+  for (uint32_t i = 0; i < cfg_.workers_per_process; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+  }
+}
+
+Controller::~Controller() { Stop(); }
+
+VertexBase* Controller::LocalVertex(StageId s, uint32_t index) {
+  auto it = vertices_.find(VertexKey(s, index));
+  return it == vertices_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<VertexAddress, VertexBase*>> Controller::LocalVertices() const {
+  std::vector<std::pair<VertexAddress, VertexBase*>> out;
+  out.reserve(vertices_.size());
+  for (const auto& [key, v] : vertices_) {
+    out.emplace_back(VertexAddress{static_cast<StageId>(key >> 32),
+                                   static_cast<uint32_t>(key & 0xffffffffu)},
+                     v.get());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.stage, a.first.index) < std::tie(b.first.stage, b.first.index);
+  });
+  return out;
+}
+
+void Controller::Start() {
+  NAIAD_CHECK(!started_);
+  started_ = true;
+  if (!graph_.frozen()) {
+    graph_.Freeze();
+  }
+
+  // Instantiate this process's partition of the physical graph, and seed the initial
+  // active pointstamps (§2.3). The seeds are derived from the shared logical graph and
+  // applied to the LOCAL tracker only, identically on every process — never broadcast.
+  // This roots every causal chain in a pointstamp that is visible everywhere from time
+  // zero, which is what makes in-flight progress updates safe to lag behind data: any
+  // outstanding event always has a locally-visible could-result-in ancestor.
+  ProgressBuffer start_updates;
+  for (StageId s = 0; s < graph_.num_stages(); ++s) {
+    const StageDef& def = graph_.stage(s);
+    if (def.is_input) {
+      // One active epoch-0 pointstamp per external producer (one per process); each
+      // process seeds all of them. A restore override seeds the saved epochs instead.
+      if (!start_override_) {
+        start_updates.Add(Pointstamp{Timestamp(0), Location::Stage(s)}, +cfg_.processes);
+      }
+      continue;
+    }
+    if (!def.factory) {
+      continue;  // virtual stage (no vertices): locations only
+    }
+    if (!start_override_) {
+      // Every vertex of the stage (local or not) holds its initial notifications; seed
+      // the full cluster-wide count locally.
+      for (const Timestamp& t : def.initial_notifications) {
+        start_updates.Add(Pointstamp{t, Location::Stage(s)},
+                          static_cast<int64_t>(def.parallelism));
+      }
+    }
+    for (uint32_t v = 0; v < def.parallelism; ++v) {
+      if (!VertexIsLocal(v)) {
+        continue;
+      }
+      const uint32_t gw = GlobalWorkerOfVertex(v);
+      Worker* w = workers_[gw % cfg_.workers_per_process].get();
+      std::unique_ptr<VertexBase> vertex = def.factory(this, v);
+      NAIAD_CHECK(vertex != nullptr);
+      vertex->AttachRuntime(this, VertexAddress{s, v}, w);
+      if (def.wire_outputs) {
+        def.wire_outputs(this, vertex.get());
+      }
+      if (!start_override_) {
+        for (const Timestamp& t : def.initial_notifications) {
+          w->AddNotificationRequest(vertex.get(), t);
+        }
+      }
+      vertices_.emplace(VertexKey(s, v), std::move(vertex));
+    }
+  }
+  if (start_override_) {
+    start_override_(*this, start_updates);
+  }
+  if (!start_updates.Empty()) {
+    tracker_.Apply(start_updates.Take());  // local-only: every process seeds identically
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(early_mu_);
+    accepting_.store(true, std::memory_order_release);
+  }
+  // Replay frames that raced with startup. New arrivals now take the direct path; a frame
+  // appended before `accepting_` flipped is in the vector because both sides hold early_mu_.
+  std::vector<std::vector<uint8_t>> early;
+  {
+    std::lock_guard<std::mutex> lock(early_mu_);
+    early.swap(early_frames_);
+  }
+  for (const auto& f : early) {
+    ReceiveRemoteBundle(f);
+  }
+
+  for (auto& w : workers_) {
+    w->Start();
+  }
+}
+
+void Controller::Join() {
+  NAIAD_CHECK(started_);
+  tracker_.WaitFor([&] { return tracker_.Empty(); });
+  if (quiesce_hook_) {
+    quiesce_hook_();
+  }
+  Stop();
+}
+
+void Controller::Stop() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  for (auto& w : workers_) {
+    w->RequestStop();
+  }
+  for (auto& w : workers_) {
+    w->JoinThread();
+  }
+}
+
+bool Controller::AllInboxesEmpty() const {
+  for (const auto& w : workers_) {
+    if (!w->inbox_.Empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Controller::PauseAndDrain() {
+  NAIAD_CHECK(started_);
+  pause_.store(true, std::memory_order_release);
+  event_.NotifyAll();
+  // Wait until every worker is parked with nothing queued anywhere. Parked workers cannot
+  // generate messages, so (parked == N && inboxes empty && local queues empty) is stable
+  // provided external producers are quiet (the caller's contract).
+  while (true) {
+    // Workers only park with empty local queues, so parked == N plus empty inboxes means
+    // no message can be in flight anywhere in this process.
+    if (parked_.load(std::memory_order_acquire) == cfg_.workers_per_process &&
+        AllInboxesEmpty()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void Controller::Resume() {
+  pause_.store(false, std::memory_order_release);
+  event_.NotifyAll();
+}
+
+void Controller::ReceiveRemoteBundle(std::span<const uint8_t> frame) {
+  // A fast peer may ship data before this process finishes instantiating its vertices;
+  // stash such frames and replay them at the end of Start().
+  if (!accepting_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(early_mu_);
+    if (!accepting_.load(std::memory_order_acquire)) {
+      early_frames_.emplace_back(frame.begin(), frame.end());
+      return;
+    }
+  }
+  ByteReader r(frame);
+  const ConnectorId ch = r.ReadU32();
+  const uint32_t dst_vertex = r.ReadU32();
+  Timestamp t;
+  NAIAD_CHECK(t.Decode(r));
+  NAIAD_CHECK(ch < graph_.num_connectors());
+  const ConnectorDef& def = graph_.connector(ch);
+  NAIAD_CHECK(def.decode_batch != nullptr);
+  VertexBase* target = LocalVertex(def.dst, dst_vertex);
+  NAIAD_CHECK(target != nullptr)
+      << "remote bundle for non-local vertex " << def.dst << "/" << dst_vertex;
+  std::unique_ptr<WorkItemBase> item = def.decode_batch(r, t, target);
+  NAIAD_CHECK(item != nullptr && r.ok());
+  const uint32_t gw = GlobalWorkerOfVertex(dst_vertex);
+  workers_[gw % cfg_.workers_per_process]->EnqueueExternal(std::move(item));
+}
+
+}  // namespace naiad

@@ -1,0 +1,154 @@
+// The per-process runtime (§3): owns the logical graph, the physical vertices of this
+// process, the worker threads, and the progress tracker. In distributed mode (src/net) one
+// Controller instance exists per process and they are linked by a DataTransport and a
+// distributed ProgressRouter; the single-process defaults keep everything in memory.
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/event_count.h"
+#include "src/core/graph.h"
+#include "src/core/progress.h"
+#include "src/core/vertex.h"
+#include "src/core/worker.h"
+
+namespace naiad {
+
+struct Config {
+  uint32_t workers_per_process = 2;
+  uint32_t process_id = 0;
+  uint32_t processes = 1;
+  // Default stage parallelism; 0 means one vertex per worker across the cluster.
+  uint32_t default_parallelism = 0;
+  // Records buffered per (connector, destination, time) before an eager flush.
+  size_t batch_size = 4096;
+};
+
+// Ships serialized record bundles to peer processes; implemented by src/net.
+class DataTransport {
+ public:
+  virtual ~DataTransport() = default;
+  virtual void SendBundle(uint32_t dst_process, std::vector<uint8_t> frame) = 0;
+};
+
+class Controller {
+ public:
+  explicit Controller(Config cfg = {});
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  LogicalGraph& graph() { return graph_; }
+  const LogicalGraph& graph() const { return graph_; }
+  ProgressTracker& tracker() { return tracker_; }
+  EventCount& event() { return event_; }
+  const Config& config() const { return cfg_; }
+
+  uint32_t total_workers() const { return cfg_.processes * cfg_.workers_per_process; }
+  uint32_t default_parallelism() const {
+    return cfg_.default_parallelism != 0 ? cfg_.default_parallelism : total_workers();
+  }
+  bool started() const { return started_; }
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Freezes the graph, instantiates this process's vertices, seeds the initial pointstamps
+  // (§2.3: one per input stage at epoch 0), and launches worker threads.
+  void Start();
+  // Waits until the computation has drained (all inputs closed, no active pointstamps),
+  // runs the quiesce hook if any (distributed termination barrier), then stops workers.
+  void Join();
+  void Stop();
+
+  Worker& worker(uint32_t local_index) { return *workers_[local_index]; }
+  VertexBase* LocalVertex(StageId s, uint32_t index);
+
+  uint32_t GlobalWorkerOfVertex(uint32_t vertex_index) const {
+    return vertex_index % total_workers();
+  }
+  uint32_t ProcessOfGlobalWorker(uint32_t gw) const { return gw / cfg_.workers_per_process; }
+  bool VertexIsLocal(uint32_t vertex_index) const {
+    return ProcessOfGlobalWorker(GlobalWorkerOfVertex(vertex_index)) == cfg_.process_id;
+  }
+
+  // Routes one bundle to its destination vertex: same worker (queued or re-entrant), peer
+  // worker (inbox), or peer process (serialized frame). Buffers the +count progress update
+  // for (t, connector) into `progress`. Defined in stage.h (needs DataItem<T>).
+  template <typename T>
+  void RouteBundle(ConnectorId ch, uint32_t dst_vertex, const Timestamp& t,
+                   std::vector<T>&& recs, ProgressBuffer& progress, Worker* src);
+
+  // Called by the network receive path with a frame produced by RouteBundle's remote arm.
+  void ReceiveRemoteBundle(std::span<const uint8_t> frame);
+
+  ProgressRouter& progress_router() { return *progress_router_; }
+  void SetProgressRouter(ProgressRouter* router) { progress_router_ = router; }
+  void SetDataTransport(DataTransport* transport) { transport_ = transport; }
+  void SetQuiesceHook(std::function<void()> hook) { quiesce_hook_ = std::move(hook); }
+
+  void RegisterInputStage(StageId s) { input_stages_.push_back(s); }
+  const std::vector<StageId>& input_stages() const { return input_stages_; }
+
+  // Enumerates this process's vertices (stable order). Valid after Start().
+  std::vector<std::pair<VertexAddress, VertexBase*>> LocalVertices() const;
+
+  // Fault tolerance: when set (before Start), replaces the default initial pointstamps and
+  // initial notifications with the override's — used to boot from a checkpoint (§3.4).
+  void SetStartOverride(std::function<void(Controller&, ProgressBuffer&)> f) {
+    start_override_ = std::move(f);
+  }
+  // Keeps typed helper objects (input handles, subscribe state) alive with the controller.
+  void KeepAlive(std::shared_ptr<void> holder) { holders_.push_back(std::move(holder)); }
+
+  // Checkpoint support (§3.4): stop delivering notifications, drain all queued messages,
+  // park the workers. Only meaningful when external producers are also quiet.
+  void PauseAndDrain();
+  void Resume();
+  bool pause_requested() const { return pause_.load(std::memory_order_acquire); }
+
+  // Pause bookkeeping (called by workers).
+  void NoteWorkerParked() { parked_.fetch_add(1, std::memory_order_acq_rel); }
+  void NoteWorkerUnparked() { parked_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  // Traffic statistics (Fig. 6a / 6c accounting).
+  std::atomic<uint64_t> data_bytes_sent{0};
+  std::atomic<uint64_t> data_bundles_sent{0};
+
+ private:
+  friend class Worker;
+  bool AllInboxesEmpty() const;
+
+  Config cfg_;
+  LogicalGraph graph_;
+  EventCount event_;
+  ProgressTracker tracker_;
+  LocalProgressRouter local_router_;
+  ProgressRouter* progress_router_;
+  DataTransport* transport_ = nullptr;
+  std::function<void()> quiesce_hook_;
+  std::function<void(Controller&, ProgressBuffer&)> start_override_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unordered_map<uint64_t, std::unique_ptr<VertexBase>> vertices_;
+  std::vector<StageId> input_stages_;
+  std::vector<std::shared_ptr<void>> holders_;
+
+  bool started_ = false;
+  std::mutex early_mu_;  // guards frames arriving before Start() finishes
+  std::vector<std::vector<uint8_t>> early_frames_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> pause_{false};
+  std::atomic<uint32_t> parked_{0};
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_CONTROLLER_H_

@@ -1,0 +1,77 @@
+// Locations and pointstamps (§2.3).
+//
+// A location is a vertex or an edge of the dataflow graph; a pointstamp pairs a timestamp
+// with a location. Progress tracking projects physical pointstamps onto the *logical* graph
+// (§3.1), so locations here name stages and connectors, not individual vertex instances.
+
+#ifndef SRC_CORE_LOCATION_H_
+#define SRC_CORE_LOCATION_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/base/hash.h"
+#include "src/core/timestamp.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+using StageId = uint32_t;
+using ConnectorId = uint32_t;
+
+struct Location {
+  enum class Kind : uint8_t { kStage = 0, kConnector = 1 };
+
+  Kind kind = Kind::kStage;
+  uint32_t id = 0;
+
+  static Location Stage(StageId s) { return Location{Kind::kStage, s}; }
+  static Location Connector(ConnectorId c) { return Location{Kind::kConnector, c}; }
+
+  bool is_stage() const { return kind == Kind::kStage; }
+
+  friend bool operator==(const Location&, const Location&) = default;
+  friend std::strong_ordering operator<=>(const Location&, const Location&) = default;
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU8(static_cast<uint8_t>(kind));
+    w.WriteU32(id);
+  }
+  bool Decode(ByteReader& r) {
+    kind = static_cast<Kind>(r.ReadU8());
+    id = r.ReadU32();
+    return r.ok();
+  }
+
+  std::string ToString() const {
+    return (is_stage() ? "S" : "C") + std::to_string(id);
+  }
+};
+
+struct Pointstamp {
+  Timestamp time;
+  Location loc;
+
+  friend bool operator==(const Pointstamp&, const Pointstamp&) = default;
+  friend std::strong_ordering operator<=>(const Pointstamp& a, const Pointstamp& b) {
+    if (auto c = a.loc <=> b.loc; c != 0) {
+      return c;
+    }
+    return a.time <=> b.time;
+  }
+
+  uint64_t Hash() const { return HashCombine(time.Hash(), (uint64_t(loc.id) << 1) | uint64_t(loc.kind)); }
+
+  void Encode(ByteWriter& w) const {
+    time.Encode(w);
+    loc.Encode(w);
+  }
+  bool Decode(ByteReader& r) { return time.Decode(r) && loc.Decode(r); }
+
+  std::string ToString() const { return time.ToString() + "@" + loc.ToString(); }
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_LOCATION_H_

@@ -1,0 +1,108 @@
+// Loop contexts (§2.1, §4.3): structured cycles built from system-provided ingress,
+// egress, and feedback stages. Edges entering a context pass through Ingress (which pushes
+// a 0 loop counter), edges leaving pass through Egress (which pops it), and every cycle
+// must close through a Feedback stage (which increments it).
+//
+// Only feedback stages may have their outputs connected before their inputs (§4.3), which
+// is what FeedbackHandle expresses: the stream is available for the loop body immediately,
+// and ConnectLoop wires the body's tail back in afterwards.
+
+#ifndef SRC_CORE_LOOP_H_
+#define SRC_CORE_LOOP_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/stage.h"
+
+namespace naiad {
+
+// Forwards records unchanged; the outlet applies the owning stage's timestamp action.
+template <typename T>
+class PassVertex final : public UnaryVertex<T, T> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    this->output().SendBatch(t, std::move(batch));
+  }
+};
+
+template <typename T>
+class FeedbackHandle {
+ public:
+  FeedbackHandle(GraphBuilder* b, StageId stage) : builder_(b), stage_(stage) {}
+
+  // The loop-internal stream produced by the feedback stage (iteration i+1 records).
+  Stream<T> stream() const { return builder_->OutputOf<T>(stage_); }
+
+  // Closes the cycle: `back` (the loop body's tail, at the inner depth) feeds the feedback
+  // stage. May only be called once.
+  void ConnectLoop(const Stream<T>& back, Partitioner<T> part = nullptr) {
+    NAIAD_CHECK(!connected_);
+    connected_ = true;
+    builder_->Connect<PassVertex<T>, T>(back, stage_, 0, std::move(part));
+  }
+
+  StageId stage_id() const { return stage_; }
+
+ private:
+  GraphBuilder* builder_;
+  StageId stage_;
+  bool connected_ = false;
+};
+
+class LoopContext {
+ public:
+  LoopContext(GraphBuilder& b, uint32_t outer_depth, std::string name = "loop")
+      : builder_(&b), outer_depth_(outer_depth), name_(std::move(name)) {}
+
+  uint32_t inner_depth() const { return outer_depth_ + 1; }
+
+  // Brings a stream into the loop context: timestamps gain a 0 loop counter.
+  template <typename T>
+  Stream<T> Ingress(const Stream<T>& s, Partitioner<T> part = nullptr) {
+    NAIAD_CHECK(s.depth == outer_depth_);
+    StageId sid = builder_->NewStage<PassVertex<T>>(
+        StageOptions{.name = name_ + ".ingress",
+                     .depth = outer_depth_,
+                     .action = TimestampAction::kIngress},
+        [](uint32_t) { return std::make_unique<PassVertex<T>>(); });
+    builder_->Connect<PassVertex<T>, T>(s, sid, 0, std::move(part));
+    return builder_->OutputOf<T>(sid);
+  }
+
+  // Takes a loop-internal stream out of the context: the loop counter is popped.
+  template <typename T>
+  Stream<T> Egress(const Stream<T>& s, Partitioner<T> part = nullptr) {
+    NAIAD_CHECK(s.depth == inner_depth());
+    StageId sid = builder_->NewStage<PassVertex<T>>(
+        StageOptions{.name = name_ + ".egress",
+                     .depth = inner_depth(),
+                     .action = TimestampAction::kEgress},
+        [](uint32_t) { return std::make_unique<PassVertex<T>>(); });
+    builder_->Connect<PassVertex<T>, T>(s, sid, 0, std::move(part));
+    return builder_->OutputOf<T>(sid);
+  }
+
+  // Creates the feedback stage. Records at loop counter >= max_iters are dropped when
+  // max_iters > 0; fixed-point computations usually quiesce naturally instead (§2.3).
+  template <typename T>
+  FeedbackHandle<T> NewFeedback(uint64_t max_iters = 0) {
+    StageId sid = builder_->NewStage<PassVertex<T>>(
+        StageOptions{.name = name_ + ".feedback",
+                     .depth = inner_depth(),
+                     .action = TimestampAction::kFeedback,
+                     .feedback_limit = max_iters},
+        [](uint32_t) { return std::make_unique<PassVertex<T>>(); });
+    return FeedbackHandle<T>(builder_, sid);
+  }
+
+ private:
+  GraphBuilder* builder_;
+  uint32_t outer_depth_;
+  std::string name_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_LOOP_H_

@@ -1,0 +1,162 @@
+// Path summaries and their algebra (§2.3).
+//
+// Every path through a timely dataflow graph transforms timestamps by some composition of
+// the ingress (push 0), egress (pop), and feedback (increment) actions. Any such
+// composition normalizes to:
+//
+//     keep the first `keep` loop counters,
+//     add `inc` to the last kept counter (inc == 0 when keep == 0 — epochs never change),
+//     append the constants in `push`.
+//
+// Proof sketch: actions only touch the deepest counter, so to modify counter j a path must
+// first pop to depth j; the minimum depth reached along the path is `keep`, increments at
+// that depth accumulate into `inc`, and anything pushed afterwards (possibly incremented)
+// folds into the `push` constants.
+//
+// Summaries between a pair of locations are kept as an *antichain* of minimal elements.
+// The paper argues that for valid graphs one summary always dominates; storing an antichain
+// costs nothing when that holds and stays correct if a user builds an exotic graph.
+
+#ifndef SRC_CORE_PATH_SUMMARY_H_
+#define SRC_CORE_PATH_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/inline_vec.h"
+#include "src/base/logging.h"
+#include "src/core/timestamp.h"
+
+namespace naiad {
+
+struct PathSummary {
+  uint32_t keep = 0;
+  uint64_t inc = 0;
+  InlineVec<uint64_t, kMaxLoopDepth> push;
+
+  static PathSummary Identity(uint32_t depth) { return PathSummary{depth, 0, {}}; }
+  static PathSummary Ingress(uint32_t src_depth) {
+    PathSummary s{src_depth, 0, {}};
+    s.push.push_back(0);
+    return s;
+  }
+  static PathSummary Egress(uint32_t src_depth) {
+    NAIAD_CHECK(src_depth >= 1);
+    return PathSummary{src_depth - 1, 0, {}};
+  }
+  static PathSummary Feedback(uint32_t src_depth, uint64_t step = 1) {
+    NAIAD_CHECK(src_depth >= 1);
+    return PathSummary{src_depth, step, {}};
+  }
+
+  uint32_t dst_depth() const { return keep + push.size(); }
+
+  // Transforms a timestamp at the source location into the earliest timestamp this path
+  // could produce at the destination.
+  Timestamp Apply(const Timestamp& t) const {
+    NAIAD_DCHECK(t.depth() >= keep);
+    Timestamp out;
+    out.epoch = t.epoch;
+    for (uint32_t i = 0; i < keep; ++i) {
+      out.coords.push_back(t.coords[i]);
+    }
+    if (inc > 0) {
+      NAIAD_CHECK(keep >= 1);
+      out.coords.back() += inc;
+    }
+    for (uint64_t v : push) {
+      out.coords.push_back(v);
+    }
+    return out;
+  }
+
+  // Sequential composition: `first` then `second`.
+  static PathSummary Compose(const PathSummary& first, const PathSummary& second) {
+    const uint32_t mid_depth = first.dst_depth();
+    NAIAD_CHECK(second.keep <= mid_depth);
+    PathSummary out;
+    if (second.keep <= first.keep) {
+      out.keep = second.keep;
+      out.inc = second.inc + (second.keep == first.keep ? first.inc : 0);
+      out.push = second.push;
+    } else {
+      const uint32_t taken = second.keep - first.keep;  // prefix of first.push that survives
+      NAIAD_CHECK(taken <= first.push.size());
+      out.keep = first.keep;
+      out.inc = first.inc;
+      for (uint32_t i = 0; i < taken; ++i) {
+        out.push.push_back(first.push[i]);
+      }
+      out.push.back() += second.inc;
+      for (uint64_t v : second.push) {
+        out.push.push_back(v);
+      }
+    }
+    NAIAD_CHECK(out.keep > 0 || out.inc == 0);
+    return out;
+  }
+
+  // True when a(t) <= b(t) for every timestamp t (same source/destination locations).
+  // Derivation in the header comment of the .h; the interesting case is differing `keep`.
+  static bool Dominates(const PathSummary& a, const PathSummary& b) {  // a <= b pointwise
+    if (a.keep == b.keep) {
+      if (a.inc != b.inc) {
+        return a.inc < b.inc;
+      }
+      return (a.push <=> b.push) <= 0;
+    }
+    if (a.keep > b.keep) {
+      // b truncates deeper; b's result exceeds a's everywhere iff b increments the
+      // coordinate both still share.
+      return b.inc > 0;
+    }
+    return false;  // a.keep < b.keep: either b <= a strictly, or incomparable
+  }
+
+  friend bool operator==(const PathSummary&, const PathSummary&) = default;
+
+  std::string ToString() const {
+    std::string s = "[keep " + std::to_string(keep) + " +" + std::to_string(inc) + " push<";
+    for (uint64_t v : push) {
+      s += std::to_string(v) + ",";
+    }
+    s += ">]";
+    return s;
+  }
+};
+
+// A set of mutually incomparable minimal path summaries.
+class SummaryAntichain {
+ public:
+  // Returns true if `s` was inserted (i.e. not dominated by an existing element).
+  bool Insert(const PathSummary& s) {
+    for (const PathSummary& e : elems_) {
+      if (PathSummary::Dominates(e, s)) {
+        return false;
+      }
+    }
+    std::erase_if(elems_, [&](const PathSummary& e) { return PathSummary::Dominates(s, e); });
+    elems_.push_back(s);
+    return true;
+  }
+
+  bool Empty() const { return elems_.empty(); }
+  const std::vector<PathSummary>& elements() const { return elems_; }
+
+  // Does any summary map t1 at-or-before t2?
+  bool CouldResultIn(const Timestamp& t1, const Timestamp& t2) const {
+    for (const PathSummary& s : elems_) {
+      if (Timestamp::PartialLeq(s.Apply(t1), t2)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<PathSummary> elems_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_PATH_SUMMARY_H_

@@ -1,0 +1,226 @@
+// Progress tracking (§2.3, §3.3).
+//
+// Workers describe the events they create and retire as (pointstamp, delta) updates.
+// Updates are buffered per worker for the duration of a callback and flushed atomically;
+// a flush both applies to the local ProgressTracker and (in distributed mode) is broadcast
+// to every process through a ProgressRouter. Because a consumed event's -1 always travels
+// in the same flush as (or later than) the +1s it caused, and per-pair channels are FIFO,
+// every local frontier is conservative with respect to the global frontier — the safety
+// property of §3.3 / [4].
+//
+// Local occurrence counts may be transiently negative when a consumer's -1 overtakes the
+// producer's +1 through a different channel; only strictly positive counts make a
+// pointstamp active, which the protocol paper shows is safe.
+//
+// Frontier queries are evaluated by scanning the (small) active set against the summary
+// matrix rather than by maintaining incremental precursor counts; the observable semantics
+// are identical to §2.3 and the scan is O(active²) with active ~ logical locations.
+
+#ifndef SRC_CORE_PROGRESS_H_
+#define SRC_CORE_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/base/event_count.h"
+#include "src/base/logging.h"
+#include "src/core/graph.h"
+#include "src/core/location.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+struct ProgressUpdate {
+  Pointstamp point;
+  int64_t delta = 0;
+
+  friend bool operator==(const ProgressUpdate&, const ProgressUpdate&) = default;
+
+  void Encode(ByteWriter& w) const {
+    point.Encode(w);
+    w.WriteI64(delta);
+  }
+  bool Decode(ByteReader& r) {
+    if (!point.Decode(r)) {
+      return false;
+    }
+    delta = r.ReadI64();
+    return r.ok();
+  }
+};
+
+// Per-worker accumulation of deltas within a callback / dispatch step. Take() combines
+// updates with equal pointstamps and orders positive deltas before negative ones, as §3.3
+// requires of broadcast updates.
+class ProgressBuffer {
+ public:
+  void Add(const Pointstamp& p, int64_t delta) {
+    if (delta != 0) {
+      acc_[p] += delta;
+    }
+  }
+
+  bool Empty() const {
+    for (const auto& [p, d] : acc_) {
+      if (d != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<ProgressUpdate> Take() {
+    std::vector<ProgressUpdate> out;
+    out.reserve(acc_.size());
+    for (const auto& [p, d] : acc_) {
+      if (d > 0) {
+        out.push_back(ProgressUpdate{p, d});
+      }
+    }
+    for (const auto& [p, d] : acc_) {
+      if (d < 0) {
+        out.push_back(ProgressUpdate{p, d});
+      }
+    }
+    acc_.clear();
+    return out;
+  }
+
+ private:
+  std::map<Pointstamp, int64_t> acc_;
+};
+
+class ProgressTracker {
+ public:
+  ProgressTracker(const LogicalGraph* graph, EventCount* event)
+      : graph_(graph), event_(event) {}
+
+  void Apply(std::span<const ProgressUpdate> updates) {
+    if (updates.empty()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const ProgressUpdate& u : updates) {
+        int64_t& c = counts_[u.point];
+        c += u.delta;
+        if (c == 0) {
+          counts_.erase(u.point);
+        }
+      }
+      version_.fetch_add(1, std::memory_order_release);
+    }
+    event_->NotifyAll();
+  }
+
+  // §2.3: a notification with (projected) pointstamp p may be delivered when no *other*
+  // active pointstamp could-result-in p. Before the graph freezes (possible in distributed
+  // mode, when a peer's progress frames race this process's startup) nothing is
+  // deliverable — the conservative answer.
+  bool CanDeliver(const Pointstamp& p) const {
+    if (!graph_->frozen()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [q, count] : counts_) {
+      if (count > 0 && q != p && graph_->CouldResultIn(q, p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // True when no active pointstamp (including p itself) could-result-in p; i.e. the global
+  // frontier has passed p. Used by output probes.
+  bool FrontierPassed(const Pointstamp& p) const {
+    if (!graph_->frozen()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [q, count] : counts_) {
+      if (count > 0 && graph_->CouldResultIn(q, p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [q, count] : counts_) {
+      if (count != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int64_t Count(const Pointstamp& p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counts_.find(p);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  std::vector<std::pair<Pointstamp, int64_t>> ActiveSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<Pointstamp, int64_t>> out;
+    for (const auto& [q, count] : counts_) {
+      out.emplace_back(q, count);
+    }
+    return out;
+  }
+
+  // Blocks the calling (non-worker) thread until `pred`-style conditions hold; used by
+  // Join and by output probes.
+  template <typename Pred>
+  void WaitFor(Pred pred) const {
+    while (true) {
+      EventCount::Ticket ticket = event_->PrepareWait();
+      if (pred()) {
+        return;
+      }
+      event_->CommitWait(ticket, std::chrono::microseconds(1000));
+    }
+  }
+
+  const LogicalGraph* graph() const { return graph_; }
+
+ private:
+  const LogicalGraph* graph_;
+  EventCount* event_;
+  mutable std::mutex mu_;
+  std::map<Pointstamp, int64_t> counts_;
+  std::atomic<uint64_t> version_{0};
+};
+
+// Where a worker's flushed updates go. The local router applies them directly; the
+// distributed routers in src/progress add broadcast and accumulation (§3.3).
+class ProgressRouter {
+ public:
+  virtual ~ProgressRouter() = default;
+  // Must (eventually) apply `updates` to every process's tracker, including the caller's.
+  virtual void Broadcast(std::vector<ProgressUpdate> updates) = 0;
+  // Called when a worker runs out of work; accumulating routers flush held updates here.
+  virtual void OnWorkerIdle() {}
+};
+
+class LocalProgressRouter final : public ProgressRouter {
+ public:
+  explicit LocalProgressRouter(ProgressTracker* tracker) : tracker_(tracker) {}
+  void Broadcast(std::vector<ProgressUpdate> updates) override {
+    tracker_->Apply(updates);
+  }
+
+ private:
+  ProgressTracker* tracker_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_PROGRESS_H_

@@ -1,0 +1,117 @@
+// Logical timestamps (§2.1): Timestamp : (e ∈ N, <c1, .., ck> ∈ N^k).
+//
+// A timestamp pairs an input epoch with one loop counter per enclosing loop context. The
+// number of counters ("depth") is a static property of where in the dataflow graph the
+// timestamp lives, so two timestamps are only ever compared at equal depth.
+//
+// Two orders exist:
+//  * the paper's partial order (PartialLeq): e1 <= e2 AND counters lexicographically <=.
+//    This is the could-result-in order restricted to a single location.
+//  * a total order (operator<=>), the lexicographic extension over (epoch, counters), used
+//    only as a container key / deterministic delivery order. It refines the partial order.
+
+#ifndef SRC_CORE_TIMESTAMP_H_
+#define SRC_CORE_TIMESTAMP_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/base/hash.h"
+#include "src/base/inline_vec.h"
+#include "src/base/logging.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+// Maximum loop-context nesting. The paper's applications use at most two nested loops
+// (SCC); eight leaves generous headroom while keeping timestamps a small value type.
+inline constexpr uint32_t kMaxLoopDepth = 8;
+
+struct Timestamp {
+  uint64_t epoch = 0;
+  InlineVec<uint64_t, kMaxLoopDepth> coords;
+
+  Timestamp() = default;
+  explicit Timestamp(uint64_t e) : epoch(e) {}
+  Timestamp(uint64_t e, std::initializer_list<uint64_t> cs) : epoch(e), coords(cs) {}
+
+  uint32_t depth() const { return coords.size(); }
+
+  // Timestamp adjustments of the three system vertices (§2.1 table).
+  Timestamp Pushed(uint64_t c0 = 0) const {
+    Timestamp t = *this;
+    t.coords.push_back(c0);
+    return t;
+  }
+  Timestamp Popped() const {
+    Timestamp t = *this;
+    t.coords.pop_back();
+    return t;
+  }
+  Timestamp Incremented(uint64_t step = 1) const {
+    Timestamp t = *this;
+    NAIAD_CHECK(!t.coords.empty());
+    t.coords.back() += step;
+    return t;
+  }
+
+  // The partial (could-result-in at one location) order. Requires equal depth.
+  static bool PartialLeq(const Timestamp& a, const Timestamp& b) {
+    NAIAD_DCHECK(a.depth() == b.depth());
+    return a.epoch <= b.epoch && (a.coords <=> b.coords) <= 0;
+  }
+
+  friend bool operator==(const Timestamp& a, const Timestamp& b) {
+    return a.epoch == b.epoch && a.coords == b.coords;
+  }
+
+  // Total order for containers and deterministic scheduling; refines PartialLeq.
+  friend std::strong_ordering operator<=>(const Timestamp& a, const Timestamp& b) {
+    if (auto c = a.epoch <=> b.epoch; c != 0) {
+      return c;
+    }
+    return a.coords <=> b.coords;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = Mix64(epoch);
+    for (uint64_t c : coords) {
+      h = HashCombine(h, c);
+    }
+    return h;
+  }
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU64(epoch);
+    w.WriteU8(static_cast<uint8_t>(coords.size()));
+    for (uint64_t c : coords) {
+      w.WriteU64(c);
+    }
+  }
+  bool Decode(ByteReader& r) {
+    epoch = r.ReadU64();
+    uint8_t n = r.ReadU8();
+    if (!r.ok() || n > kMaxLoopDepth) {
+      return false;
+    }
+    coords.clear();
+    for (uint8_t i = 0; i < n; ++i) {
+      coords.push_back(r.ReadU64());
+    }
+    return r.ok();
+  }
+
+  std::string ToString() const {
+    std::string s = "(" + std::to_string(epoch);
+    for (uint64_t c : coords) {
+      s += "," + std::to_string(c);
+    }
+    s += ")";
+    return s;
+  }
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_TIMESTAMP_H_

@@ -1,0 +1,25 @@
+#include "src/core/vertex.h"
+
+#include "src/base/logging.h"
+#include "src/core/worker.h"
+
+namespace naiad {
+
+void VertexBase::NotifyAt(const Timestamp& t) {
+  NAIAD_CHECK(worker_ != nullptr);
+  NAIAD_CHECK(!worker_->in_purge()) << "purge callbacks have capability top (§2.4)";
+  if (const Timestamp* now = worker_->current_time();
+      now != nullptr && now->depth() == t.depth()) {
+    // §2.2: callbacks may only request notifications at times >= the current time.
+    NAIAD_DCHECK(Timestamp::PartialLeq(*now, t));
+  }
+  worker_->AddNotificationRequest(this, t);
+  worker_->progress().Add(Pointstamp{t, Location::Stage(addr_.stage)}, +1);
+}
+
+void VertexBase::PurgeAt(const Timestamp& t) {
+  NAIAD_CHECK(worker_ != nullptr);
+  worker_->AddPurgeRequest(this, t);  // no occurrence count: nothing can wait on it
+}
+
+}  // namespace naiad

@@ -1,0 +1,73 @@
+// The vertex programming model (§2.2): stateful vertices with OnRecv / OnNotify callbacks
+// and SendBy / NotifyAt services. Typed OnRecv lives in the stage.h templates; this base
+// carries the runtime identity, the notification service, and the fault-tolerance hooks
+// (§3.4 Checkpoint/Restore).
+
+#ifndef SRC_CORE_VERTEX_H_
+#define SRC_CORE_VERTEX_H_
+
+#include <cstdint>
+
+#include "src/core/location.h"
+#include "src/core/timestamp.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+class Controller;
+class Worker;
+
+struct VertexAddress {
+  StageId stage = 0;
+  uint32_t index = 0;  // physical vertex index within the stage [0, parallelism)
+};
+
+class VertexBase {
+ public:
+  VertexBase() = default;
+  virtual ~VertexBase() = default;
+  VertexBase(const VertexBase&) = delete;
+  VertexBase& operator=(const VertexBase&) = delete;
+
+  // §2.2: invoked once per matching NotifyAt after all messages at times <= t have been
+  // delivered to this vertex.
+  virtual void OnNotify(const Timestamp& t) {}
+
+  // Requests a future OnNotify(t). Only legal from this vertex's callbacks (or before the
+  // computation starts, via StageDef::initial_notifications).
+  void NotifyAt(const Timestamp& t);
+
+  // §2.4: a notification with guarantee time t but capability ⊤ — it fires once the
+  // frontier passes t, holds no occurrence count (so it cannot delay any other
+  // notification), and its OnNotify may only release state: sending or requesting further
+  // notifications from it is an error.
+  void PurgeAt(const Timestamp& t);
+
+  // Runtime hook: flush buffered sends after a callback returns (§3.2's implicit yield).
+  virtual void FlushOutputs() {}
+
+  // Fault tolerance (§3.4). Stateful vertices serialize enough to rebuild themselves.
+  virtual void Checkpoint(ByteWriter& w) const {}
+  virtual bool Restore(ByteReader& r) { return true; }
+
+  const VertexAddress& address() const { return addr_; }
+  Controller& controller() const { return *ctl_; }
+  Worker& worker() const { return *worker_; }
+  bool attached() const { return ctl_ != nullptr; }
+
+  // Called by the controller when the physical graph is instantiated.
+  void AttachRuntime(Controller* ctl, VertexAddress addr, Worker* worker) {
+    ctl_ = ctl;
+    addr_ = addr;
+    worker_ = worker;
+  }
+
+ private:
+  Controller* ctl_ = nullptr;
+  Worker* worker_ = nullptr;
+  VertexAddress addr_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_VERTEX_H_

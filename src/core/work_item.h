@@ -1,0 +1,44 @@
+// Work items: queued message deliveries (§3.2).
+//
+// A work item is one bundle of records destined for one vertex at one timestamp. The typed
+// payload lives in the DataItem<T> subclass (see stage.h); workers only need the abstract
+// interface plus the (connector, time, count) triple for progress bookkeeping after Run().
+
+#ifndef SRC_CORE_WORK_ITEM_H_
+#define SRC_CORE_WORK_ITEM_H_
+
+#include <cstdint>
+
+#include "src/core/location.h"
+#include "src/core/timestamp.h"
+
+namespace naiad {
+
+class VertexBase;
+
+class WorkItemBase {
+ public:
+  WorkItemBase(ConnectorId connector, Timestamp time, int64_t count, VertexBase* target)
+      : connector_(connector), time_(std::move(time)), count_(count), target_(target) {}
+  virtual ~WorkItemBase() = default;
+  WorkItemBase(const WorkItemBase&) = delete;
+  WorkItemBase& operator=(const WorkItemBase&) = delete;
+
+  // Invokes the destination vertex's OnRecv with the payload.
+  virtual void Run() = 0;
+
+  ConnectorId connector() const { return connector_; }
+  const Timestamp& time() const { return time_; }
+  int64_t count() const { return count_; }
+  VertexBase* target() const { return target_; }
+
+ private:
+  ConnectorId connector_;
+  Timestamp time_;
+  int64_t count_;
+  VertexBase* target_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_CORE_WORK_ITEM_H_

@@ -1,0 +1,248 @@
+#include "src/core/worker.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/core/controller.h"
+
+namespace naiad {
+
+Worker::Worker(Controller* ctl, uint32_t local_index)
+    : ctl_(ctl),
+      local_index_(local_index),
+      global_index_(ctl->config().process_id * ctl->config().workers_per_process +
+                    local_index) {}
+
+Worker::~Worker() {
+  RequestStop();
+  JoinThread();
+}
+
+void Worker::EnqueueExternal(std::unique_ptr<WorkItemBase> item) {
+  inbox_.Push(std::move(item));
+  ctl_->event().NotifyAll();
+}
+
+void Worker::EnqueueLocal(std::unique_ptr<WorkItemBase> item) {
+  local_.push_back(std::move(item));
+}
+
+void Worker::RunNested(std::unique_ptr<WorkItemBase> item) {
+  ++reentry_depth_;
+  // Preserve the enclosing callback's time context across the nested delivery.
+  Timestamp saved_time = current_time_;
+  bool saved_in = in_callback_;
+  RunItem(*item);
+  current_time_ = saved_time;
+  in_callback_ = saved_in;
+  --reentry_depth_;
+}
+
+void Worker::AddNotificationRequest(VertexBase* v, const Timestamp& t) {
+  pending_.push_back(PendingNotify{t, v});
+}
+
+void Worker::AddPurgeRequest(VertexBase* v, const Timestamp& t) {
+  purges_.push_back(PendingNotify{t, v});
+}
+
+bool Worker::TryDeliverPurges(bool force) {
+  if (purges_.empty()) {
+    return false;
+  }
+  bool any = false;
+  for (size_t i = 0; i < purges_.size();) {
+    const Pointstamp p{purges_[i].time, Location::Stage(purges_[i].vertex->address().stage)};
+    if (!force && !ctl_->tracker().FrontierPassed(p)) {
+      ++i;
+      continue;
+    }
+    PendingNotify n = purges_[i];
+    purges_.erase(purges_.begin() + static_cast<ptrdiff_t>(i));
+    in_callback_ = true;
+    in_purge_ = true;  // capability ⊤: the callback may only free state (§2.4)
+    current_time_ = n.time;
+    n.vertex->OnNotify(n.time);
+    in_purge_ = false;
+    in_callback_ = false;
+    any = true;
+  }
+  return any;
+}
+
+void Worker::FlushProgress() {
+  if (progress_.Empty()) {
+    return;
+  }
+  ctl_->progress_router().Broadcast(progress_.Take());
+}
+
+void Worker::Start() {
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Worker::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  ctl_->event().NotifyAll();
+}
+
+void Worker::JoinThread() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Worker::RunItem(WorkItemBase& item) {
+  in_callback_ = true;
+  current_time_ = item.time();
+  item.Run();
+  if (item.target() != nullptr) {
+    item.target()->FlushOutputs();
+  }
+  in_callback_ = false;
+  progress_.Add(Pointstamp{item.time(), Location::Connector(item.connector())},
+                -item.count());
+  FlushProgress();
+}
+
+bool Worker::DispatchOnce() {
+  bool did = false;
+  // Messages before notifications (§3.2).
+  for (;;) {
+    if (local_.empty()) {
+      drain_scratch_.clear();
+      if (inbox_.DrainInto(drain_scratch_) > 0) {
+        for (auto& it : drain_scratch_) {
+          local_.push_back(std::move(it));
+        }
+        drain_scratch_.clear();
+      }
+    }
+    if (local_.empty()) {
+      break;
+    }
+    std::unique_ptr<WorkItemBase> item = std::move(local_.front());
+    local_.pop_front();
+    RunItem(*item);
+    did = true;
+    if (ctl_->pause_requested()) {
+      return did;  // finish messages under HandlePause's message-only loop
+    }
+  }
+  if (TryDeliverNotifications()) {
+    did = true;
+  }
+  if (TryDeliverPurges(/*force=*/false)) {
+    did = true;
+  }
+  return did;
+}
+
+bool Worker::TryDeliverNotifications() {
+  if (pending_.empty()) {
+    return false;
+  }
+  FlushProgress();  // our own +1/-1s must be visible before consulting the frontier
+  // Deliver the earliest deliverable notification (by the total order, which refines the
+  // partial order), then return so queued messages regain priority.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingNotify& a, const PendingNotify& b) { return a.time < b.time; });
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Pointstamp p{pending_[i].time, Location::Stage(pending_[i].vertex->address().stage)};
+    if (!ctl_->tracker().CanDeliver(p)) {
+      continue;
+    }
+    PendingNotify n = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    in_callback_ = true;
+    current_time_ = n.time;
+    n.vertex->OnNotify(n.time);
+    n.vertex->FlushOutputs();
+    in_callback_ = false;
+    progress_.Add(p, -1);
+    FlushProgress();
+    return true;
+  }
+  return false;
+}
+
+void Worker::ThreadMain() {
+  uint64_t idle_version = ~0ULL;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (ctl_->pause_requested()) {
+      // §3.4: deliver outstanding messages (no notifications) and park until Resume.
+      for (;;) {
+        bool any = false;
+        for (;;) {
+          if (local_.empty()) {
+            drain_scratch_.clear();
+            if (inbox_.DrainInto(drain_scratch_) > 0) {
+              for (auto& it : drain_scratch_) {
+                local_.push_back(std::move(it));
+              }
+              drain_scratch_.clear();
+            }
+          }
+          if (local_.empty()) {
+            break;
+          }
+          std::unique_ptr<WorkItemBase> item = std::move(local_.front());
+          local_.pop_front();
+          RunItem(*item);
+          any = true;
+        }
+        FlushProgress();
+        if (any) {
+          continue;
+        }
+        if (!ctl_->pause_requested() || stop_.load(std::memory_order_acquire)) {
+          break;
+        }
+        ctl_->NoteWorkerParked();
+        EventCount::Ticket ticket = ctl_->event().PrepareWait();
+        if (inbox_.Empty() && ctl_->pause_requested() &&
+            !stop_.load(std::memory_order_acquire)) {
+          ctl_->event().CommitWait(ticket, std::chrono::microseconds(500));
+        }
+        ctl_->NoteWorkerUnparked();
+      }
+      continue;
+    }
+
+    if (DispatchOnce()) {
+      idle_version = ~0ULL;
+      continue;
+    }
+    // No work: flush, let accumulating progress routers release held updates, then sleep
+    // unless something arrived or the frontier moved since our last notification scan.
+    FlushProgress();
+    ctl_->progress_router().OnWorkerIdle();
+    EventCount::Ticket ticket = ctl_->event().PrepareWait();
+    uint64_t version = ctl_->tracker().version();
+    if (!inbox_.Empty() || stop_.load(std::memory_order_acquire) ||
+        ctl_->pause_requested()) {
+      continue;
+    }
+    if ((!pending_.empty() || !purges_.empty()) && version != idle_version) {
+      idle_version = version;
+      continue;  // frontier may have moved; rescan notifications and purges
+    }
+    ctl_->event().CommitWait(ticket, std::chrono::microseconds(500));
+  }
+  // Shutdown happens only after the computation drained, so every remaining purge's
+  // guarantee time has passed; deliver them before exiting (their capability is ⊤, so
+  // they cannot create new events).
+  TryDeliverPurges(/*force=*/true);
+  FlushProgress();
+}
+
+bool Worker::DrainForTest() {
+  bool any = false;
+  while (DispatchOnce()) {
+    any = true;
+  }
+  FlushProgress();
+  return any;
+}
+
+}  // namespace naiad

@@ -1,0 +1,131 @@
+#include "src/ft/checkpoint.h"
+
+#include <map>
+
+#include "src/base/logging.h"
+#include "src/core/worker.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+namespace {
+constexpr uint32_t kMagic = 0x4e414944;  // "NAID"
+}  // namespace
+
+std::vector<uint8_t> CheckpointProcess(Controller& ctl) {
+  NAIAD_CHECK(ctl.started());
+  ctl.PauseAndDrain();
+
+  ByteWriter w;
+  w.WriteU32(kMagic);
+
+  // (a) Open input epochs, recovered from the active pointstamps at input locations.
+  const std::vector<StageId>& inputs = ctl.input_stages();
+  w.WriteU32(static_cast<uint32_t>(inputs.size()));
+  std::map<StageId, uint64_t> open_epochs;
+  for (const auto& [p, count] : ctl.tracker().ActiveSnapshot()) {
+    if (count > 0 && p.loc.is_stage()) {
+      for (StageId s : inputs) {
+        if (p.loc.id == s) {
+          open_epochs[s] = p.time.epoch;
+        }
+      }
+    }
+  }
+  for (StageId s : inputs) {
+    w.WriteU32(s);
+    auto it = open_epochs.find(s);
+    w.WriteU8(it != open_epochs.end() ? 1 : 0);
+    w.WriteU64(it != open_epochs.end() ? it->second : 0);
+  }
+
+  // (b) Vertex state, length-prefixed so a vertex that writes nothing stays cheap.
+  const auto vertices = ctl.LocalVertices();
+  w.WriteU32(static_cast<uint32_t>(vertices.size()));
+  for (const auto& [addr, v] : vertices) {
+    w.WriteU32(addr.stage);
+    w.WriteU32(addr.index);
+    const size_t len_at = w.size();
+    w.WriteU32(0);
+    const size_t body_at = w.size();
+    v->Checkpoint(w);
+    w.PatchU32(len_at, static_cast<uint32_t>(w.size() - body_at));
+  }
+
+  // (c) Pending notification requests (the queues themselves are empty after the drain).
+  std::vector<std::pair<VertexAddress, Timestamp>> pending;
+  for (uint32_t i = 0; i < ctl.config().workers_per_process; ++i) {
+    for (const Worker::PendingNotify& n : ctl.worker(i).pending_notifications()) {
+      pending.emplace_back(n.vertex->address(), n.time);
+    }
+  }
+  w.WriteU32(static_cast<uint32_t>(pending.size()));
+  for (const auto& [addr, t] : pending) {
+    w.WriteU32(addr.stage);
+    w.WriteU32(addr.index);
+    t.Encode(w);
+  }
+
+  ctl.Resume();
+  return std::move(w.buffer());
+}
+
+std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image) {
+  NAIAD_CHECK(!ctl.started());
+  ByteReader r(image);
+  NAIAD_CHECK(r.ReadU32() == kMagic) << "not a checkpoint image";
+  std::vector<InputEpochs> inputs(r.ReadU32());
+  for (InputEpochs& in : inputs) {
+    in.stage = r.ReadU32();
+    const bool open = r.ReadU8() != 0;
+    const uint64_t epoch = r.ReadU64();
+    in.next_epoch = open ? epoch : 0;
+    in.closed = !open;
+  }
+  NAIAD_CHECK(r.ok());
+
+  ctl.SetStartOverride([image = std::move(image), inputs](Controller& c,
+                                                          ProgressBuffer& updates) {
+    ByteReader r(image);
+    NAIAD_CHECK(r.ReadU32() == kMagic);
+    const uint32_t n_inputs = r.ReadU32();
+    for (uint32_t i = 0; i < n_inputs; ++i) {
+      const StageId s = r.ReadU32();
+      const bool open = r.ReadU8() != 0;
+      const uint64_t epoch = r.ReadU64();
+      if (open) {
+        updates.Add(Pointstamp{Timestamp(epoch), Location::Stage(s)}, +1);
+      }
+    }
+    const uint32_t n_vertices = r.ReadU32();
+    for (uint32_t i = 0; i < n_vertices; ++i) {
+      const StageId s = r.ReadU32();
+      const uint32_t index = r.ReadU32();
+      const uint32_t len = r.ReadU32();
+      NAIAD_CHECK(r.ok() && r.remaining() >= len);
+      VertexBase* v = c.LocalVertex(s, index);
+      NAIAD_CHECK(v != nullptr) << "checkpoint does not match graph: stage " << s;
+      ByteReader body(std::span<const uint8_t>(image.data() + (image.size() - r.remaining()),
+                                               len));
+      NAIAD_CHECK(v->Restore(body));
+      for (uint32_t skip = 0; skip < len; ++skip) {
+        r.ReadU8();
+      }
+    }
+    const uint32_t n_pending = r.ReadU32();
+    for (uint32_t i = 0; i < n_pending; ++i) {
+      const StageId s = r.ReadU32();
+      const uint32_t index = r.ReadU32();
+      Timestamp t;
+      NAIAD_CHECK(t.Decode(r));
+      VertexBase* v = c.LocalVertex(s, index);
+      NAIAD_CHECK(v != nullptr);
+      v->worker().AddNotificationRequest(v, t);
+      updates.Add(Pointstamp{t, Location::Stage(s)}, +1);
+    }
+    NAIAD_CHECK(r.ok());
+  });
+  return inputs;
+}
+
+}  // namespace naiad

@@ -1,0 +1,45 @@
+// Fault tolerance (§3.4): Checkpoint / Restore.
+//
+// Checkpointing follows the paper's recipe: pause worker and delivery threads, flush the
+// message queues by delivering outstanding OnRecv events, then invoke Checkpoint on each
+// stateful vertex. Because the queues are drained first, the persistent image needs only
+// (a) vertex state, (b) pending notification requests, and (c) the open input epochs — no
+// in-flight messages exist at the capture point.
+//
+// Restore targets a freshly-built, not-yet-started controller with an identical graph: the
+// image is applied during Start() in place of the default initial pointstamps.
+//
+// Scope: per-process images. Multi-process checkpointing additionally needs a global quiet
+// point (the cluster termination barrier provides one); the Fig. 7c benchmark exercises
+// the single-process multi-worker path, as DESIGN.md documents.
+
+#ifndef SRC_FT_CHECKPOINT_H_
+#define SRC_FT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/controller.h"
+
+namespace naiad {
+
+// Captures this process's computation state. The controller must be started; external
+// producers must be quiescent for the duration (the caller's contract, §3.4).
+// Worker threads are paused, drained, checkpointed, and resumed.
+std::vector<uint8_t> CheckpointProcess(Controller& ctl);
+
+// Describes one input stage's position so Restore can reopen it.
+struct InputEpochs {
+  StageId stage = 0;
+  uint64_t next_epoch = 0;
+  bool closed = false;
+};
+
+// Arranges for `ctl` (not started, same graph shape) to boot from `image` instead of from
+// epoch 0. Returns the saved input positions so the caller can fast-forward its
+// InputHandles (InputHandle::RestoreEpoch). Must be called before ctl.Start().
+std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image);
+
+}  // namespace naiad
+
+#endif  // SRC_FT_CHECKPOINT_H_

@@ -1,0 +1,92 @@
+// Synthetic graph generators (DESIGN.md substitution #2).
+//
+// The paper's graph workloads are uniform random graphs (§5.3, §5.4), a power-law Twitter
+// follower graph (§6.1, §6.3), and the ClueWeb09 web graph (Table 1). All generators are
+// deterministic in their seed and support per-process sharding so SPMD drivers can each
+// synthesize their slice without materializing the whole graph anywhere.
+
+#ifndef SRC_GEN_GRAPHS_H_
+#define SRC_GEN_GRAPHS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/rng.h"
+
+namespace naiad {
+
+using Edge = std::pair<uint64_t, uint64_t>;
+
+// Uniform random directed graph: `edges` edges over `nodes` nodes (§5.3's "random graph").
+inline std::vector<Edge> RandomGraph(uint64_t nodes, uint64_t edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> out;
+  out.reserve(edges);
+  for (uint64_t i = 0; i < edges; ++i) {
+    out.emplace_back(rng.Below(nodes), rng.Below(nodes));
+  }
+  return out;
+}
+
+// Power-law graph: destination popularity follows Zipf(exponent) over a shuffled node
+// order — a synthetic stand-in for the Twitter follower graph's degree skew (§6.1).
+inline std::vector<Edge> PowerLawGraph(uint64_t nodes, uint64_t edges, double exponent,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(nodes, exponent, seed ^ 0x5eedULL);
+  std::vector<Edge> out;
+  out.reserve(edges);
+  for (uint64_t i = 0; i < edges; ++i) {
+    // Mix the Zipf rank so popular nodes are spread over the id space (matters for range
+    // partitioning experiments).
+    const uint64_t dst = Mix64(zipf.Next()) % nodes;
+    out.emplace_back(rng.Below(nodes), dst);
+  }
+  return out;
+}
+
+// Power-law degree distributions on *both* endpoints (natural graphs like Twitter have
+// skewed in- and out-degree): the setting where vertex-cut edge partitioning pays (§6.1).
+inline std::vector<Edge> PowerLawBothGraph(uint64_t nodes, uint64_t edges, double exponent,
+                                           uint64_t seed) {
+  ZipfSampler src_sampler(nodes, exponent, seed ^ 0xabcdULL);
+  ZipfSampler dst_sampler(nodes, exponent, seed ^ 0x1234ULL);
+  std::vector<Edge> out;
+  out.reserve(edges);
+  for (uint64_t i = 0; i < edges; ++i) {
+    out.emplace_back(Mix64(src_sampler.Next() + 1) % nodes,
+                     Mix64(dst_sampler.Next()) % nodes);
+  }
+  return out;
+}
+
+// The `part`-th of `parts` shards of the graph a generator with this seed produces; used
+// by SPMD drivers. Sharding is by position, so the union over parts is exactly the whole
+// graph.
+template <typename GenFn>
+std::vector<Edge> Shard(GenFn gen, uint32_t part, uint32_t parts) {
+  std::vector<Edge> all = gen();
+  std::vector<Edge> out;
+  out.reserve(all.size() / parts + 1);
+  for (size_t i = part; i < all.size(); i += parts) {
+    out.push_back(all[i]);
+  }
+  return out;
+}
+
+// Duplicates each edge in both directions (graph algorithms over undirected graphs).
+inline std::vector<Edge> Symmetrize(const std::vector<Edge>& edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.emplace_back(e.second, e.first);
+  }
+  return out;
+}
+
+}  // namespace naiad
+
+#endif  // SRC_GEN_GRAPHS_H_

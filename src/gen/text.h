@@ -1,0 +1,53 @@
+// Synthetic text corpus with Zipf-distributed word frequencies — the stand-in for the
+// paper's Twitter corpus in the WordCount experiments (§5.4).
+
+#ifndef SRC_GEN_TEXT_H_
+#define SRC_GEN_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace naiad {
+
+// One "line" is a space-separated sequence of words drawn from a Zipf(1.07) vocabulary
+// (roughly English-like skew).
+inline std::vector<std::string> ZipfCorpus(size_t lines, size_t words_per_line,
+                                           size_t vocabulary, uint64_t seed) {
+  ZipfSampler zipf(vocabulary, 1.07, seed);
+  std::vector<std::string> out;
+  out.reserve(lines);
+  for (size_t i = 0; i < lines; ++i) {
+    std::string line;
+    for (size_t w = 0; w < words_per_line; ++w) {
+      if (w > 0) {
+        line.push_back(' ');
+      }
+      line += "w" + std::to_string(zipf.Next());
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+// Splits a line into words (the map function of the WordCount examples).
+inline std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  size_t start = 0;
+  while (start < line.size()) {
+    size_t end = line.find(' ', start);
+    if (end == std::string::npos) {
+      end = line.size();
+    }
+    if (end > start) {
+      words.push_back(line.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return words;
+}
+
+}  // namespace naiad
+
+#endif  // SRC_GEN_TEXT_H_

@@ -1,0 +1,95 @@
+// Synthetic tweet stream: users post hashtags and mention other users, with Zipf-skewed
+// popularity on both — the stand-in for the Twitter streams of §6.3 (k-exposure) and §6.4
+// (streaming iterative graph analytics).
+
+#ifndef SRC_GEN_TWEETS_H_
+#define SRC_GEN_TWEETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+struct Tweet {
+  uint64_t user = 0;
+  std::vector<uint64_t> hashtags;
+  std::vector<uint64_t> mentions;
+
+  friend bool operator==(const Tweet&, const Tweet&) = default;
+  friend auto operator<=>(const Tweet&, const Tweet&) = default;
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU64(user);
+    w.WriteU32(static_cast<uint32_t>(hashtags.size()));
+    for (uint64_t h : hashtags) {
+      w.WriteU64(h);
+    }
+    w.WriteU32(static_cast<uint32_t>(mentions.size()));
+    for (uint64_t m : mentions) {
+      w.WriteU64(m);
+    }
+  }
+  bool Decode(ByteReader& r) {
+    user = r.ReadU64();
+    hashtags.resize(r.ReadU32());
+    if (!r.ok() || r.remaining() < hashtags.size() * 8) {
+      return false;
+    }
+    for (uint64_t& h : hashtags) {
+      h = r.ReadU64();
+    }
+    mentions.resize(r.ReadU32());
+    if (!r.ok() || r.remaining() < mentions.size() * 8) {
+      return false;
+    }
+    for (uint64_t& m : mentions) {
+      m = r.ReadU64();
+    }
+    return r.ok();
+  }
+};
+
+class TweetGenerator {
+ public:
+  TweetGenerator(uint64_t users, uint64_t hashtags, uint64_t seed)
+      : rng_(seed),
+        users_(users),
+        tag_sampler_(hashtags, 1.1, seed ^ 0x7a65ULL),
+        mention_sampler_(users, 1.05, seed ^ 0x3c41ULL) {}
+
+  Tweet Next() {
+    Tweet t;
+    t.user = rng_.Below(users_);
+    const uint64_t n_tags = rng_.Below(3);  // 0-2 hashtags
+    for (uint64_t i = 0; i < n_tags; ++i) {
+      t.hashtags.push_back(tag_sampler_.Next());
+    }
+    const uint64_t n_mentions = rng_.Below(3);  // 0-2 mentions
+    for (uint64_t i = 0; i < n_mentions; ++i) {
+      t.mentions.push_back(Mix64(mention_sampler_.Next()) % users_);
+    }
+    return t;
+  }
+
+  std::vector<Tweet> Batch(size_t n) {
+    std::vector<Tweet> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(Next());
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  uint64_t users_;
+  ZipfSampler tag_sampler_;
+  ZipfSampler mention_sampler_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_GEN_TWEETS_H_

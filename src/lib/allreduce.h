@@ -1,0 +1,182 @@
+// AllReduce libraries (§6.2).
+//
+// Two implementations of a dense-vector sum-AllReduce over W participants:
+//
+//  * ChunkedAllReduce — Naiad's data-parallel variant: each of W reducers owns 1/W of the
+//    vector; participants scatter chunks, reducers sum and send each participant its copy.
+//    Two exchanges, each moving ~2·|vector| total, independent of W.
+//  * TreeAllReduce — the Vowpal Wabbit baseline: a binary reduction tree followed by a
+//    binary broadcast tree, built as 2·ceil(log2 W) dataflow stages. Deeper pipeline,
+//    more serialization points, more straggler-sensitive (§6.2's analysis).
+//
+// Both operate per epoch: each participant contributes exactly one vector per epoch and
+// receives the epoch's global sum.
+
+#ifndef SRC_LIB_ALLREDUCE_H_
+#define SRC_LIB_ALLREDUCE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/stage.h"
+
+namespace naiad {
+
+// A piece of a participant's vector: `slot` identifies the chunk (chunked variant) or the
+// tree node (tree variant); `target` addresses the recipient participant on the way down.
+struct VecPiece {
+  uint32_t slot = 0;
+  uint32_t target = 0;
+  std::vector<double> values;
+
+  void Encode(ByteWriter& w) const {
+    w.WriteU32(slot);
+    w.WriteU32(target);
+    Codec<std::vector<double>>::Encode(w, values);
+  }
+  bool Decode(ByteReader& r) {
+    slot = r.ReadU32();
+    target = r.ReadU32();
+    return Codec<std::vector<double>>::Decode(r, values);
+  }
+};
+
+namespace allreduce_detail {
+
+inline void AccumulateInto(std::vector<double>& acc, const std::vector<double>& v) {
+  if (acc.size() < v.size()) {
+    acc.resize(v.size(), 0.0);
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc[i] += v[i];
+  }
+}
+
+// Sums arriving pieces per (time, slot, target); on completeness, re-emits each sum either
+// fanned out to every participant (chunked leaf) or addressed upward/downward (tree).
+class ReducePiecesVertex final : public UnaryVertex<VecPiece, VecPiece> {
+ public:
+  // Emit plan: for each reduced (slot, target), the (new slot, new target) copies to send.
+  using EmitPlan = std::function<std::vector<std::pair<uint32_t, uint32_t>>(uint32_t slot,
+                                                                            uint32_t target)>;
+  explicit ReducePiecesVertex(EmitPlan plan) : plan_(std::move(plan)) {}
+
+  void OnRecv(const Timestamp& t, std::vector<VecPiece>& batch) override {
+    auto [it, fresh] = acc_.try_emplace(t);
+    if (fresh) {
+      NotifyAt(t);
+    }
+    for (VecPiece& p : batch) {
+      AccumulateInto(it->second[{p.slot, p.target}], p.values);
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    auto it = acc_.find(t);
+    if (it == acc_.end()) {
+      return;
+    }
+    for (auto& [key, sum] : it->second) {
+      for (auto [new_slot, target] : plan_(key.first, key.second)) {
+        output().Send(t, VecPiece{new_slot, target, sum});
+      }
+    }
+    acc_.erase(it);
+  }
+
+ private:
+  EmitPlan plan_;
+  std::map<Timestamp, std::map<std::pair<uint32_t, uint32_t>, std::vector<double>>> acc_;
+};
+
+inline Stream<VecPiece> ReduceStage(const Stream<VecPiece>& in, const char* name,
+                                    ReducePiecesVertex::EmitPlan plan, bool by_target) {
+  GraphBuilder& b = *in.builder;
+  StageId sid = b.NewStage<ReducePiecesVertex>(
+      StageOptions{.name = name, .depth = in.depth},
+      [plan](uint32_t) { return std::make_unique<ReducePiecesVertex>(plan); });
+  Partitioner<VecPiece> part =
+      by_target ? Partitioner<VecPiece>([](const VecPiece& p) { return uint64_t{p.target}; })
+                : Partitioner<VecPiece>([](const VecPiece& p) { return uint64_t{p.slot}; });
+  b.Connect<ReducePiecesVertex, VecPiece>(in, sid, 0, std::move(part));
+  return b.OutputOf<VecPiece>(sid);
+}
+
+}  // namespace allreduce_detail
+
+// Chunked AllReduce: input pieces are chunks (slot = chunk id) from each participant; the
+// output delivers every chunk's sum to every participant (`target` = participant id),
+// partitioned by target.
+inline Stream<VecPiece> ChunkedAllReduce(const Stream<VecPiece>& local,
+                                         uint32_t participants) {
+  using namespace allreduce_detail;
+  Stream<VecPiece> reduced = ReduceStage(
+      local, "allreduce.chunk",
+      [participants](uint32_t slot, uint32_t) {
+        std::vector<std::pair<uint32_t, uint32_t>> plan;
+        plan.reserve(participants);
+        for (uint32_t p = 0; p < participants; ++p) {
+          plan.emplace_back(slot, p);
+        }
+        return plan;
+      },
+      /*by_target=*/false);
+  // Deliver to targets (no further reduction; the plan emits one piece per target).
+  return ReduceStage(
+      reduced, "allreduce.deliver",
+      [](uint32_t slot, uint32_t target) {
+        return std::vector<std::pair<uint32_t, uint32_t>>{{slot, target}};
+      },
+      /*by_target=*/true);
+}
+
+// Tree AllReduce (VW baseline): participants are leaves slot = participant id; pieces
+// climb ceil(log2 W) reduce stages (slot -> slot/2), then descend a broadcast tree.
+inline Stream<VecPiece> TreeAllReduce(const Stream<VecPiece>& local, uint32_t participants) {
+  using namespace allreduce_detail;
+  uint32_t levels = 0;
+  while ((1u << levels) < participants) {
+    ++levels;
+  }
+  Stream<VecPiece> s = local;
+  for (uint32_t l = 0; l < levels; ++l) {
+    s = ReduceStage(
+        s, "allreduce.up",
+        [](uint32_t slot, uint32_t) {
+          return std::vector<std::pair<uint32_t, uint32_t>>{{slot / 2, 0}};
+        },
+        /*by_target=*/false);
+  }
+  for (uint32_t l = 0; l < levels; ++l) {
+    const uint32_t fanout_level = levels - 1 - l;  // recipients at this depth
+    const uint32_t max_slot = fanout_level == 0 ? participants : (1u << 30);
+    s = ReduceStage(
+        s, "allreduce.down",
+        [max_slot](uint32_t slot, uint32_t) {
+          std::vector<std::pair<uint32_t, uint32_t>> plan;
+          if (2 * slot < max_slot) {
+            plan.emplace_back(2 * slot, 2 * slot);
+          }
+          if (2 * slot + 1 < max_slot) {
+            plan.emplace_back(2 * slot + 1, 2 * slot + 1);
+          }
+          return plan;
+        },
+        /*by_target=*/false);
+  }
+  // After the down phase, slot == participant id; deliver by target.
+  return ReduceStage(
+      s, "allreduce.deliver",
+      [](uint32_t slot, uint32_t) {
+        return std::vector<std::pair<uint32_t, uint32_t>>{{slot, slot}};
+      },
+      /*by_target=*/true);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_ALLREDUCE_H_

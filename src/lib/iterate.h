@@ -1,0 +1,37 @@
+// Iteration sugar over loop contexts (§2.1, §4.3).
+//
+// Iterate(s, max_iters, part, body) builds:
+//
+//     s --ingress--> concat --> body(...) --+--egress--> result
+//                      ^                    |
+//                      +----- feedback <----+
+//
+// The body receives the merged (entering + circulating) stream at the inner depth and
+// returns the stream to circulate. Computations that quiesce naturally (fixed points) can
+// pass max_iters = 0; otherwise the feedback stage drops records at the limit.
+
+#ifndef SRC_LIB_ITERATE_H_
+#define SRC_LIB_ITERATE_H_
+
+#include <utility>
+
+#include "src/core/loop.h"
+#include "src/lib/map_ops.h"
+
+namespace naiad {
+
+template <typename T, typename BodyFn>
+Stream<T> Iterate(const Stream<T>& s, uint64_t max_iters, Partitioner<T> part, BodyFn body) {
+  GraphBuilder& b = *s.builder;
+  LoopContext loop(b, s.depth);
+  FeedbackHandle<T> fb = loop.NewFeedback<T>(max_iters);
+  Stream<T> entered = loop.Ingress<T>(s, part);
+  Stream<T> merged = Concat<T>(entered, fb.stream());
+  Stream<T> result = body(loop, merged);
+  fb.ConnectLoop(result, part);
+  return loop.Egress<T>(result);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_ITERATE_H_

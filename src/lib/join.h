@@ -1,0 +1,164 @@
+// Streaming hash join (§4.2).
+//
+// Two modes:
+//  * kPerEpoch: both sides buffer per timestamp, matches are emitted eagerly as records
+//    arrive from either side, and the state for a timestamp is reclaimed on notification —
+//    classic batch join semantics within each epoch/iteration.
+//  * kAccumulating: state persists across all timestamps and is never notified — an
+//    incremental join over monotonically growing inputs (used by the §6.3/§6.4 pipelines,
+//    where a static or growing relation is joined against a stream).
+
+#ifndef SRC_LIB_JOIN_H_
+#define SRC_LIB_JOIN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/stage.h"
+#include "src/lib/key_hash.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+
+enum class JoinMode : uint8_t {
+  kPerEpoch,              // state per timestamp, reclaimed on notification
+  kAccumulating,          // state shared across all times (incremental, monotone inputs)
+  kPerEpochAccumulating,  // state shared across a loop's iterations, isolated per epoch
+};
+
+template <typename A, typename B, typename K, typename TOut>
+class JoinVertex final : public BinaryVertex<A, B, TOut> {
+ public:
+  using KeyAFn = std::function<K(const A&)>;
+  using KeyBFn = std::function<K(const B&)>;
+  using JoinFn = std::function<TOut(const A&, const B&)>;
+
+  JoinVertex(KeyAFn ka, KeyBFn kb, JoinFn join, JoinMode mode)
+      : key_a_(std::move(ka)), key_b_(std::move(kb)), join_(std::move(join)), mode_(mode) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<A>& batch) override {
+    State& st = StateFor(t);
+    std::vector<TOut> out;
+    for (A& a : batch) {
+      const K k = key_a_(a);
+      auto bit = st.b_side.find(k);
+      if (bit != st.b_side.end()) {
+        for (const B& b : bit->second) {
+          out.push_back(join_(a, b));
+        }
+      }
+      st.a_side[k].push_back(std::move(a));
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<B>& batch) override {
+    State& st = StateFor(t);
+    std::vector<TOut> out;
+    for (B& b : batch) {
+      const K k = key_b_(b);
+      auto ait = st.a_side.find(k);
+      if (ait != st.a_side.end()) {
+        for (const A& a : ait->second) {
+          out.push_back(join_(a, b));
+        }
+      }
+      st.b_side[k].push_back(std::move(b));
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    if (mode_ == JoinMode::kPerEpoch) {
+      per_time_.erase(t);
+    }
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<A> && Encodable<B> && Encodable<K>) {
+      w.WriteU32(static_cast<uint32_t>(per_time_.size()));
+      for (const auto& [t, st] : per_time_) {
+        t.Encode(w);
+        Codec<std::map<K, std::vector<A>>>::Encode(w, st.a_side);
+        Codec<std::map<K, std::vector<B>>>::Encode(w, st.b_side);
+      }
+      Codec<std::map<K, std::vector<A>>>::Encode(w, global_.a_side);
+      Codec<std::map<K, std::vector<B>>>::Encode(w, global_.b_side);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<A> && Encodable<B> && Encodable<K>) {
+      const uint32_t n = r.ReadU32();
+      for (uint32_t i = 0; i < n; ++i) {
+        Timestamp t;
+        if (!t.Decode(r)) {
+          return false;
+        }
+        State& st = per_time_[t];
+        if (!Codec<std::map<K, std::vector<A>>>::Decode(r, st.a_side) ||
+            !Codec<std::map<K, std::vector<B>>>::Decode(r, st.b_side)) {
+          return false;
+        }
+      }
+      return Codec<std::map<K, std::vector<A>>>::Decode(r, global_.a_side) &&
+             Codec<std::map<K, std::vector<B>>>::Decode(r, global_.b_side);
+    }
+    return true;
+  }
+
+ private:
+  struct State {
+    std::map<K, std::vector<A>> a_side;
+    std::map<K, std::vector<B>> b_side;
+  };
+
+  State& StateFor(const Timestamp& t) {
+    if (mode_ == JoinMode::kAccumulating) {
+      return global_;
+    }
+    if (mode_ == JoinMode::kPerEpochAccumulating) {
+      return per_epoch_[t.epoch];
+    }
+    auto [it, fresh] = per_time_.try_emplace(t);
+    if (fresh) {
+      this->NotifyAt(t);
+    }
+    return it->second;
+  }
+
+  KeyAFn key_a_;
+  KeyBFn key_b_;
+  JoinFn join_;
+  JoinMode mode_;
+  std::map<Timestamp, State> per_time_;
+  std::map<uint64_t, State> per_epoch_;
+  State global_;
+};
+
+template <typename A, typename B, typename KAF, typename KBF, typename JF>
+auto Join(const Stream<A>& a, const Stream<B>& b_in, KAF key_a, KBF key_b, JF join_fn,
+          JoinMode mode = JoinMode::kPerEpoch) {
+  using K = std::invoke_result_t<KAF, const A&>;
+  static_assert(std::is_same_v<K, std::invoke_result_t<KBF, const B&>>,
+                "join key types must match");
+  using TOut = std::invoke_result_t<JF, const A&, const B&>;
+  GraphBuilder& b = *a.builder;
+  NAIAD_CHECK(a.depth == b_in.depth);
+  StageId sid = b.NewStage<JoinVertex<A, B, K, TOut>>(
+      StageOptions{.name = "join", .depth = a.depth}, [key_a, key_b, join_fn, mode](uint32_t) {
+        return std::make_unique<JoinVertex<A, B, K, TOut>>(key_a, key_b, join_fn, mode);
+      });
+  b.Connect<JoinVertex<A, B, K, TOut>, A>(
+      a, sid, 0, [key_a](const A& x) { return KeyHash(key_a(x)); });
+  b.Connect<JoinVertex<A, B, K, TOut>, B>(
+      b_in, sid, 1, [key_b](const B& x) { return KeyHash(key_b(x)); });
+  return b.OutputOf<TOut>(sid);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_JOIN_H_

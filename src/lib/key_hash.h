@@ -1,0 +1,32 @@
+// Default partitioning-hash for operator keys. Exchange connectors need a deterministic
+// uint64 per key that is identical on every process (§3.1); std::hash is not portable, so
+// keyed operators derive one structurally.
+
+#ifndef SRC_LIB_KEY_HASH_H_
+#define SRC_LIB_KEY_HASH_H_
+
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/hash.h"
+
+namespace naiad {
+
+template <typename K>
+uint64_t KeyHash(const K& k) {
+  if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+    return static_cast<uint64_t>(k);
+  } else if constexpr (std::is_same_v<K, std::string>) {
+    return HashString(k);
+  } else {
+    static_assert(requires { k.first; k.second; },
+                  "provide an explicit partitioner for this key type");
+    return HashCombine(KeyHash(k.first), KeyHash(k.second));
+  }
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_KEY_HASH_H_

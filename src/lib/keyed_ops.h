@@ -1,0 +1,374 @@
+// Keyed operators (§4.2): Count, GroupBy (reduce), Distinct, and the Bloom^L-style
+// monotonic Aggregate.
+//
+// Coordination policy follows the paper's discussion (§2.4): Count and GroupBy buffer per
+// timestamp and use OnNotify to emit exactly-once results; Distinct emits eagerly on first
+// sight; the monotonic Aggregate never notifies, so loops built from it run uncoordinated.
+
+#ifndef SRC_LIB_KEYED_OPS_H_
+#define SRC_LIB_KEYED_OPS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/stage.h"
+#include "src/lib/key_hash.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+
+// State scoping for uncoordinated stateful operators: kGlobal shares state across epochs
+// (incremental computation over growing inputs); kPerEpoch isolates epochs (batch
+// semantics).
+enum class StateScope : uint8_t { kGlobal, kPerEpoch };
+
+// Counts occurrences of each key per timestamp; emits (key, count) on completeness.
+template <typename T, typename K>
+class CountByVertex final : public UnaryVertex<T, std::pair<K, uint64_t>> {
+ public:
+  using KeyFn = std::function<K(const T&)>;
+  explicit CountByVertex(KeyFn key) : key_(std::move(key)) {}
+
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    auto [it, fresh] = counts_.try_emplace(t);
+    if (fresh) {
+      this->NotifyAt(t);
+    }
+    for (const T& x : batch) {
+      ++it->second[key_(x)];
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    auto it = counts_.find(t);
+    if (it == counts_.end()) {
+      return;
+    }
+    for (const auto& [k, n] : it->second) {
+      this->output().Send(t, {k, n});
+    }
+    counts_.erase(it);
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<K>) {
+      Codec<std::map<Timestamp, std::map<K, uint64_t>>>::Encode(w, counts_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<K>) {
+      return Codec<std::map<Timestamp, std::map<K, uint64_t>>>::Decode(r, counts_);
+    }
+    return true;
+  }
+
+ private:
+  KeyFn key_;
+  std::map<Timestamp, std::map<K, uint64_t>> counts_;
+};
+
+template <typename T, typename F>
+auto Count(const Stream<T>& s, F key_fn) {
+  using K = std::invoke_result_t<F, const T&>;
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<CountByVertex<T, K>>(
+      StageOptions{.name = "count", .depth = s.depth}, [key_fn](uint32_t) {
+        return std::make_unique<CountByVertex<T, K>>(key_fn);
+      });
+  b.Connect<CountByVertex<T, K>, T>(s, sid, 0,
+                                    [key_fn](const T& x) { return KeyHash(key_fn(x)); });
+  return b.OutputOf<std::pair<K, uint64_t>>(sid);
+}
+
+// GroupBy: buffers values per (time, key), applies the reducer on completeness.
+// Reducer: (const K&, std::vector<V>&) -> std::vector<TOut>.
+template <typename V, typename K, typename TOut>
+class GroupByVertex final : public UnaryVertex<V, TOut> {
+ public:
+  using KeyFn = std::function<K(const V&)>;
+  using ReduceFn = std::function<std::vector<TOut>(const K&, std::vector<V>&)>;
+  GroupByVertex(KeyFn key, ReduceFn reduce) : key_(std::move(key)), reduce_(std::move(reduce)) {}
+
+  void OnRecv(const Timestamp& t, std::vector<V>& batch) override {
+    auto [it, fresh] = groups_.try_emplace(t);
+    if (fresh) {
+      this->NotifyAt(t);
+    }
+    for (V& x : batch) {
+      it->second[key_(x)].push_back(std::move(x));
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    auto it = groups_.find(t);
+    if (it == groups_.end()) {
+      return;
+    }
+    for (auto& [k, vals] : it->second) {
+      std::vector<TOut> out = reduce_(k, vals);
+      this->output().SendBatch(t, std::move(out));
+    }
+    groups_.erase(it);
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<K> && Encodable<V>) {
+      Codec<std::map<Timestamp, std::map<K, std::vector<V>>>>::Encode(w, groups_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<K> && Encodable<V>) {
+      return Codec<std::map<Timestamp, std::map<K, std::vector<V>>>>::Decode(r, groups_);
+    }
+    return true;
+  }
+
+ private:
+  KeyFn key_;
+  ReduceFn reduce_;
+  std::map<Timestamp, std::map<K, std::vector<V>>> groups_;
+};
+
+template <typename V, typename KF, typename RF>
+auto GroupBy(const Stream<V>& s, KF key_fn, RF reduce_fn) {
+  using K = std::invoke_result_t<KF, const V&>;
+  using TOut = typename std::invoke_result_t<RF, const K&, std::vector<V>&>::value_type;
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<GroupByVertex<V, K, TOut>>(
+      StageOptions{.name = "groupby", .depth = s.depth}, [key_fn, reduce_fn](uint32_t) {
+        return std::make_unique<GroupByVertex<V, K, TOut>>(key_fn, reduce_fn);
+      });
+  b.Connect<GroupByVertex<V, K, TOut>, V>(
+      s, sid, 0, [key_fn](const V& x) { return KeyHash(key_fn(x)); });
+  return b.OutputOf<TOut>(sid);
+}
+
+// Distinct: emits each record the first time it is seen at a timestamp; requests a
+// notification only to reclaim state, never to gate output (§4.2).
+template <typename T>
+class DistinctVertex final : public UnaryVertex<T, T> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    auto [it, fresh] = seen_.try_emplace(t);
+    if (fresh) {
+      this->NotifyAt(t);
+    }
+    std::vector<T> out;
+    for (T& x : batch) {
+      if (it->second.insert(x).second) {
+        out.push_back(std::move(x));
+      }
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+  void OnNotify(const Timestamp& t) override { seen_.erase(t); }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<T>) {
+      Codec<std::map<Timestamp, std::set<T>>>::Encode(w, seen_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<T>) {
+      return Codec<std::map<Timestamp, std::set<T>>>::Decode(r, seen_);
+    }
+    return true;
+  }
+
+ private:
+  std::map<Timestamp, std::set<T>> seen_;
+};
+
+template <typename T>
+Stream<T> Distinct(const Stream<T>& s) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<DistinctVertex<T>>(
+      StageOptions{.name = "distinct", .depth = s.depth},
+      [](uint32_t) { return std::make_unique<DistinctVertex<T>>(); });
+  b.Connect<DistinctVertex<T>, T>(s, sid, 0, [](const T& x) { return KeyHash(x); });
+  return b.OutputOf<T>(sid);
+}
+
+// The Figure 4 vertex, verbatim: one input, two outputs. Distinct records stream out the
+// moment they are first seen (low latency); per-record counts wait for the completeness
+// notification (correctness) — the paper's illustration of mixing both styles.
+template <typename T>
+class DistinctCountVertex final : public Unary2Vertex<T, T, std::pair<T, uint64_t>> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    auto [it, fresh] = counts_.try_emplace(t);
+    if (fresh) {
+      this->NotifyAt(t);
+    }
+    for (T& x : batch) {
+      auto [cit, first_sight] = it->second.try_emplace(x, 0);
+      if (first_sight) {
+        this->output1().Send(t, x);
+      }
+      ++cit->second;
+    }
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    auto it = counts_.find(t);
+    if (it == counts_.end()) {
+      return;
+    }
+    for (const auto& [x, n] : it->second) {
+      this->output2().Send(t, {x, n});
+    }
+    counts_.erase(it);
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<T>) {
+      Codec<std::map<Timestamp, std::map<T, uint64_t>>>::Encode(w, counts_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<T>) {
+      return Codec<std::map<Timestamp, std::map<T, uint64_t>>>::Decode(r, counts_);
+    }
+    return true;
+  }
+
+ private:
+  std::map<Timestamp, std::map<T, uint64_t>> counts_;
+};
+
+template <typename T>
+struct DistinctCountStreams {
+  Stream<T> distinct;                        // eager, per first sighting
+  Stream<std::pair<T, uint64_t>> counts;     // exact, on completeness
+};
+
+template <typename T>
+DistinctCountStreams<T> DistinctCount(const Stream<T>& s) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<DistinctCountVertex<T>>(
+      StageOptions{.name = "distinct-count", .depth = s.depth},
+      [](uint32_t) { return std::make_unique<DistinctCountVertex<T>>(); });
+  b.Connect<DistinctCountVertex<T>, T>(s, sid, 0, [](const T& x) { return KeyHash(x); });
+  return DistinctCountStreams<T>{b.OutputOf<T>(sid, 0),
+                                 b.OutputOf<std::pair<T, uint64_t>>(sid, 1)};
+}
+
+// Fully asynchronous Distinct for use inside loops (the Bloom subset, §4.2): never
+// invokes NotifyAt, so enclosing loops run without coordination. kPerEpoch deduplicates
+// within an epoch across all loop iterations (Datalog per batch); kGlobal deduplicates
+// across epochs too (incremental semi-naive evaluation over monotone inputs). State lives
+// until the vertex is destroyed.
+template <typename T>
+class AsyncDistinctVertex final : public UnaryVertex<T, T> {
+ public:
+  explicit AsyncDistinctVertex(StateScope scope) : scope_(scope) {}
+
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    std::set<T>& seen = scope_ == StateScope::kGlobal ? global_ : per_epoch_[t.epoch];
+    std::vector<T> out;
+    for (T& x : batch) {
+      if (seen.insert(x).second) {
+        out.push_back(std::move(x));
+      }
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<T>) {
+      Codec<std::map<uint64_t, std::set<T>>>::Encode(w, per_epoch_);
+      Codec<std::set<T>>::Encode(w, global_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<T>) {
+      return Codec<std::map<uint64_t, std::set<T>>>::Decode(r, per_epoch_) &&
+             Codec<std::set<T>>::Decode(r, global_);
+    }
+    return true;
+  }
+
+ private:
+  StateScope scope_;
+  std::map<uint64_t, std::set<T>> per_epoch_;
+  std::set<T> global_;
+};
+
+template <typename T>
+Stream<T> AsyncDistinct(const Stream<T>& s, StateScope scope = StateScope::kPerEpoch) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<AsyncDistinctVertex<T>>(
+      StageOptions{.name = "async-distinct", .depth = s.depth},
+      [scope](uint32_t) { return std::make_unique<AsyncDistinctVertex<T>>(scope); });
+  b.Connect<AsyncDistinctVertex<T>, T>(s, sid, 0, [](const T& x) { return KeyHash(x); });
+  return b.OutputOf<T>(sid);
+}
+
+// Monotonic aggregation (Bloom^L, §2.4/§4.2): per key, combine() folds values toward a
+// lattice top; an output is emitted whenever a key's aggregate improves. No NotifyAt —
+// outputs may be revised, enabling fast uncoordinated iteration.
+template <typename K, typename V>
+class MonotonicAggregateVertex final : public UnaryVertex<std::pair<K, V>, std::pair<K, V>> {
+ public:
+  // Returns true if `current` was improved (replaced) by `candidate`.
+  using CombineFn = std::function<bool(V& current, const V& candidate)>;
+  MonotonicAggregateVertex(CombineFn combine, StateScope scope)
+      : combine_(std::move(combine)), scope_(scope) {}
+
+  void OnRecv(const Timestamp& t, std::vector<std::pair<K, V>>& batch) override {
+    std::map<K, V>& state = scope_ == StateScope::kGlobal ? global_ : per_epoch_[t.epoch];
+    std::vector<std::pair<K, V>> improved;
+    for (auto& [k, v] : batch) {
+      auto [it, fresh] = state.try_emplace(k, v);
+      if (fresh || combine_(it->second, v)) {
+        improved.emplace_back(k, it->second);
+      }
+    }
+    this->output().SendBatch(t, std::move(improved));
+  }
+
+  void Checkpoint(ByteWriter& w) const override {
+    if constexpr (Encodable<K> && Encodable<V>) {
+      Codec<std::map<K, V>>::Encode(w, global_);
+      Codec<std::map<uint64_t, std::map<K, V>>>::Encode(w, per_epoch_);
+    }
+  }
+  bool Restore(ByteReader& r) override {
+    if constexpr (Encodable<K> && Encodable<V>) {
+      return Codec<std::map<K, V>>::Decode(r, global_) &&
+             Codec<std::map<uint64_t, std::map<K, V>>>::Decode(r, per_epoch_);
+    }
+    return true;
+  }
+
+ private:
+  CombineFn combine_;
+  StateScope scope_;
+  std::map<K, V> global_;
+  std::map<uint64_t, std::map<K, V>> per_epoch_;
+};
+
+template <typename K, typename V>
+Stream<std::pair<K, V>> MonotonicAggregate(
+    const Stream<std::pair<K, V>>& s,
+    typename MonotonicAggregateVertex<K, V>::CombineFn combine,
+    StateScope scope = StateScope::kPerEpoch) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<MonotonicAggregateVertex<K, V>>(
+      StageOptions{.name = "aggregate", .depth = s.depth}, [combine, scope](uint32_t) {
+        return std::make_unique<MonotonicAggregateVertex<K, V>>(combine, scope);
+      });
+  b.Connect<MonotonicAggregateVertex<K, V>, std::pair<K, V>>(
+      s, sid, 0, [](const std::pair<K, V>& kv) { return KeyHash(kv.first); });
+  return b.OutputOf<std::pair<K, V>>(sid);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_KEYED_OPS_H_

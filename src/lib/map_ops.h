@@ -1,0 +1,167 @@
+// Stateless LINQ-style operators (§4.2): Select, Where, SelectMany, Concat.
+//
+// None of these requests notifications, so subgraphs built from them execute fully
+// asynchronously — the paper's point about specializing uncoordinated operators in library
+// code rather than the runtime.
+
+#ifndef SRC_LIB_MAP_OPS_H_
+#define SRC_LIB_MAP_OPS_H_
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/stage.h"
+
+namespace naiad {
+
+template <typename TIn, typename TOut>
+class MapVertex final : public UnaryVertex<TIn, TOut> {
+ public:
+  using Fn = std::function<TOut(const TIn&)>;
+  explicit MapVertex(Fn fn) : fn_(std::move(fn)) {}
+  void OnRecv(const Timestamp& t, std::vector<TIn>& batch) override {
+    std::vector<TOut> out;
+    out.reserve(batch.size());
+    for (const TIn& x : batch) {
+      out.push_back(fn_(x));
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename T>
+class WhereVertex final : public UnaryVertex<T, T> {
+ public:
+  using Fn = std::function<bool(const T&)>;
+  explicit WhereVertex(Fn pred) : pred_(std::move(pred)) {}
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    std::vector<T> out;
+    for (T& x : batch) {
+      if (pred_(x)) {
+        out.push_back(std::move(x));
+      }
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+ private:
+  Fn pred_;
+};
+
+template <typename TIn, typename TOut>
+class FlatMapVertex final : public UnaryVertex<TIn, TOut> {
+ public:
+  using Fn = std::function<std::vector<TOut>(const TIn&)>;
+  explicit FlatMapVertex(Fn fn) : fn_(std::move(fn)) {}
+  void OnRecv(const Timestamp& t, std::vector<TIn>& batch) override {
+    std::vector<TOut> out;
+    for (const TIn& x : batch) {
+      std::vector<TOut> produced = fn_(x);
+      out.insert(out.end(), std::make_move_iterator(produced.begin()),
+                 std::make_move_iterator(produced.end()));
+    }
+    this->output().SendBatch(t, std::move(out));
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename T>
+class ConcatVertex final : public BinaryVertex<T, T, T> {
+ public:
+  void OnRecv1(const Timestamp& t, std::vector<T>& batch) override {
+    this->output().SendBatch(t, std::move(batch));
+  }
+  void OnRecv2(const Timestamp& t, std::vector<T>& batch) override {
+    this->output().SendBatch(t, std::move(batch));
+  }
+};
+
+// Forwards batches only at timestamps accepted by a predicate — e.g. to expose only the
+// final iteration of a bounded loop to the egress.
+template <typename T>
+class WhereTimeVertex final : public UnaryVertex<T, T> {
+ public:
+  using Fn = std::function<bool(const Timestamp&)>;
+  explicit WhereTimeVertex(Fn pred) : pred_(std::move(pred)) {}
+  void OnRecv(const Timestamp& t, std::vector<T>& batch) override {
+    if (pred_(t)) {
+      this->output().SendBatch(t, std::move(batch));
+    }
+  }
+
+ private:
+  Fn pred_;
+};
+
+// ---- free functions -----------------------------------------------------------------
+
+template <typename TIn, typename F>
+auto Select(const Stream<TIn>& s, F fn) {
+  using TOut = std::invoke_result_t<F, const TIn&>;
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<MapVertex<TIn, TOut>>(
+      StageOptions{.name = "select", .depth = s.depth}, [fn](uint32_t) {
+        return std::make_unique<MapVertex<TIn, TOut>>(fn);
+      });
+  b.Connect<MapVertex<TIn, TOut>, TIn>(s, sid);
+  return b.OutputOf<TOut>(sid);
+}
+
+template <typename T, typename F>
+Stream<T> Where(const Stream<T>& s, F pred) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<WhereVertex<T>>(StageOptions{.name = "where", .depth = s.depth},
+                                           [pred](uint32_t) {
+                                             return std::make_unique<WhereVertex<T>>(pred);
+                                           });
+  b.Connect<WhereVertex<T>, T>(s, sid);
+  return b.OutputOf<T>(sid);
+}
+
+template <typename TIn, typename F>
+auto SelectMany(const Stream<TIn>& s, F fn) {
+  using TOut = typename std::invoke_result_t<F, const TIn&>::value_type;
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<FlatMapVertex<TIn, TOut>>(
+      StageOptions{.name = "selectmany", .depth = s.depth}, [fn](uint32_t) {
+        return std::make_unique<FlatMapVertex<TIn, TOut>>(fn);
+      });
+  b.Connect<FlatMapVertex<TIn, TOut>, TIn>(s, sid);
+  return b.OutputOf<TOut>(sid);
+}
+
+template <typename T, typename F>
+Stream<T> WhereTime(const Stream<T>& s, F pred) {
+  GraphBuilder& b = *s.builder;
+  StageId sid = b.NewStage<WhereTimeVertex<T>>(
+      StageOptions{.name = "where-time", .depth = s.depth}, [pred](uint32_t) {
+        return std::make_unique<WhereTimeVertex<T>>(pred);
+      });
+  b.Connect<WhereTimeVertex<T>, T>(s, sid);
+  return b.OutputOf<T>(sid);
+}
+
+template <typename T>
+Stream<T> Concat(const Stream<T>& a, const Stream<T>& b_in) {
+  GraphBuilder& b = *a.builder;
+  NAIAD_CHECK(a.depth == b_in.depth);
+  StageId sid = b.NewStage<ConcatVertex<T>>(StageOptions{.name = "concat", .depth = a.depth},
+                                            [](uint32_t) {
+                                              return std::make_unique<ConcatVertex<T>>();
+                                            });
+  b.Connect<ConcatVertex<T>, T>(a, sid, 0);
+  b.Connect<ConcatVertex<T>, T>(b_in, sid, 1);
+  return b.OutputOf<T>(sid);
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_MAP_OPS_H_

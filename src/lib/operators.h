@@ -1,0 +1,11 @@
+// Umbrella header for the LINQ-style incremental operator library (§4.2).
+
+#ifndef SRC_LIB_OPERATORS_H_
+#define SRC_LIB_OPERATORS_H_
+
+#include "src/lib/iterate.h"    // IWYU pragma: export
+#include "src/lib/join.h"       // IWYU pragma: export
+#include "src/lib/keyed_ops.h"  // IWYU pragma: export
+#include "src/lib/map_ops.h"    // IWYU pragma: export
+
+#endif  // SRC_LIB_OPERATORS_H_

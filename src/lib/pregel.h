@@ -1,0 +1,196 @@
+// A Pregel library on timely dataflow (§4.2): bulk-synchronous vertex programs with
+// supersteps, combiner-free message passing, vote-to-halt semantics, and local graph
+// mutation. Supersteps are loop iterations; the barrier between them is the completeness
+// notification — no dedicated coordination machinery, exactly the paper's point.
+//
+// Subset note (DESIGN.md): the original port also supports global aggregators via extra
+// feedback edges; this implementation covers compute/messages/halting/mutation, which is
+// what the Fig. 7a PageRank comparison exercises.
+
+#ifndef SRC_LIB_PREGEL_H_
+#define SRC_LIB_PREGEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/gen/graphs.h"
+
+namespace naiad {
+
+// The view a vertex program gets of one node during one superstep.
+template <typename S, typename M>
+class PregelNodeContext {
+ public:
+  PregelNodeContext(uint64_t node, uint64_t superstep, S* state,
+                    std::vector<uint64_t>* out_edges,
+                    std::function<void(uint64_t, const M&)> send)
+      : node_(node), superstep_(superstep), state_(state), out_(out_edges),
+        send_(std::move(send)) {}
+
+  uint64_t node_id() const { return node_; }
+  uint64_t superstep() const { return superstep_; }
+  S& state() { return *state_; }
+  const std::vector<uint64_t>& out_edges() const { return *out_; }
+
+  void SendTo(uint64_t dst, const M& msg) {
+    sent_ = true;
+    send_(dst, msg);
+  }
+  void SendToAllNeighbors(const M& msg) {
+    for (uint64_t dst : *out_) {
+      SendTo(dst, msg);
+    }
+  }
+  // Pregel graph mutation (local out-edges).
+  void AddEdge(uint64_t dst) { out_->push_back(dst); }
+  void RemoveEdges(uint64_t dst) { std::erase(*out_, dst); }
+
+  void VoteToHalt() { halted_ = true; }
+  bool voted_halt() const { return halted_; }
+  bool sent_any() const { return sent_; }
+
+ private:
+  uint64_t node_;
+  uint64_t superstep_;
+  S* state_;
+  std::vector<uint64_t>* out_;
+  std::function<void(uint64_t, const M&)> send_;
+  bool halted_ = false;
+  bool sent_ = false;
+};
+
+template <typename S, typename M>
+using PregelComputeFn =
+    std::function<void(PregelNodeContext<S, M>&, const std::vector<M>&)>;
+
+template <typename S, typename M>
+class PregelStageVertex final
+    : public Binary2Vertex<Edge, std::pair<uint64_t, M>, std::pair<uint64_t, M>,
+                           std::pair<uint64_t, S>> {
+ public:
+  PregelStageVertex(S initial, uint64_t max_supersteps, PregelComputeFn<S, M> compute)
+      : initial_(std::move(initial)), max_supersteps_(max_supersteps),
+        compute_(std::move(compute)) {}
+
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    Ctx& c = CtxFor(t);
+    for (const Edge& e : edges) {
+      c.nodes.try_emplace(e.first, Node{initial_, {}, false});
+      c.nodes[e.first].out.push_back(e.second);
+    }
+    MaybeNotify(c, t);
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<std::pair<uint64_t, M>>& msgs) override {
+    Ctx& c = CtxFor(t);
+    // Inboxes are keyed by superstep timestamp: messages for superstep i+1 may be
+    // delivered before OnNotify(i) runs (§2.2's asynchronous delivery).
+    auto& inbox = c.inboxes[t];
+    for (auto& [dst, m] : msgs) {
+      c.nodes.try_emplace(dst, Node{initial_, {}, false});
+      inbox[dst].push_back(std::move(m));
+    }
+    MaybeNotify(c, t);
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    Ctx& c = CtxFor(t);
+    c.notified.erase(t);
+    const uint64_t step = t.coords.back();
+    std::map<uint64_t, std::vector<M>> inbox;
+    if (auto it = c.inboxes.find(t); it != c.inboxes.end()) {
+      inbox = std::move(it->second);
+      c.inboxes.erase(it);
+    }
+    bool any_active = false;
+    static const std::vector<M> kNoMessages;
+    for (auto& [id, n] : c.nodes) {
+      auto mit = inbox.find(id);
+      const bool has_msgs = mit != inbox.end();
+      if (n.halted && !has_msgs) {
+        continue;
+      }
+      n.halted = false;  // a message reactivates a halted node
+      PregelNodeContext<S, M> ctx(id, step, &n.state, &n.out,
+                                  [&](uint64_t dst, const M& m) {
+                                    this->output1().Send(t, {dst, m});
+                                  });
+      compute_(ctx, has_msgs ? mit->second : kNoMessages);
+      n.halted = ctx.voted_halt();
+      if (!n.halted) {
+        any_active = true;
+      }
+      this->output2().Send(t, {id, n.state});
+    }
+    if (any_active && step + 1 < max_supersteps_) {
+      Timestamp next = t.Incremented();
+      if (c.notified.insert(next).second) {
+        this->NotifyAt(next);
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    S state;
+    std::vector<uint64_t> out;
+    bool halted = false;
+  };
+  struct Ctx {
+    std::unordered_map<uint64_t, Node> nodes;
+    std::map<Timestamp, std::map<uint64_t, std::vector<M>>> inboxes;
+    std::set<Timestamp> notified;
+  };
+
+  Ctx& CtxFor(const Timestamp& t) { return ctx_[t.Popped()]; }
+
+  void MaybeNotify(Ctx& c, const Timestamp& t) {
+    if (t.coords.back() >= max_supersteps_) {
+      return;
+    }
+    if (c.notified.insert(t).second) {
+      this->NotifyAt(t);
+    }
+  }
+
+  S initial_;
+  uint64_t max_supersteps_;
+  PregelComputeFn<S, M> compute_;
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+// Runs a Pregel program over the edges supplied in each epoch. The result stream carries
+// (node, state) updates per superstep; the last update per node is its final state.
+template <typename S, typename M>
+Stream<std::pair<uint64_t, S>> Pregel(const Stream<Edge>& edges, S initial,
+                                      uint64_t max_supersteps,
+                                      PregelComputeFn<S, M> compute) {
+  GraphBuilder& b = *edges.builder;
+  using V = PregelStageVertex<S, M>;
+  using Msg = std::pair<uint64_t, M>;
+  LoopContext loop(b, edges.depth, "pregel");
+  FeedbackHandle<Msg> fb = loop.NewFeedback<Msg>();
+  Stream<Edge> in_loop =
+      loop.Ingress<Edge>(edges, [](const Edge& e) { return Mix64(e.first); });
+  StageId sid = b.NewStage<V>(
+      StageOptions{.name = "pregel", .depth = loop.inner_depth()},
+      [initial, max_supersteps, compute](uint32_t) {
+        return std::make_unique<V>(initial, max_supersteps, compute);
+      });
+  b.Connect<V, Edge>(in_loop, sid, 0);
+  b.Connect<V, Msg>(fb.stream(), sid, 1,
+                    [](const Msg& m) { return Mix64(m.first); });
+  fb.ConnectLoop(b.OutputOf<Msg>(sid, 0), [](const Msg& m) { return Mix64(m.first); });
+  return loop.Egress<std::pair<uint64_t, S>>(b.OutputOf<std::pair<uint64_t, S>>(sid, 1));
+}
+
+}  // namespace naiad
+
+#endif  // SRC_LIB_PREGEL_H_

@@ -1,0 +1,225 @@
+#include "src/net/cluster.h"
+
+#include <memory>
+#include <thread>
+
+#include "src/base/stopwatch.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+namespace {
+
+constexpr uint8_t kReport = 0;
+constexpr uint8_t kVerdict = 1;
+
+struct TrafficCounters {
+  std::array<uint64_t, 6> v = {};
+  friend bool operator==(const TrafficCounters&, const TrafficCounters&) = default;
+};
+
+TrafficCounters SnapshotCounters(const TcpTransport& t) {
+  TrafficCounters c;
+  c.v = {t.frames_sent(FrameType::kData),        t.frames_received(FrameType::kData),
+         t.frames_sent(FrameType::kProgress),    t.frames_received(FrameType::kProgress),
+         t.frames_sent(FrameType::kProgressAcc), t.frames_received(FrameType::kProgressAcc)};
+  return c;
+}
+
+struct Report {
+  uint64_t round = 0;
+  bool empty = false;
+  TrafficCounters counters;
+  bool valid = false;
+};
+
+// Per-process termination-barrier state; the coordinator fields are used on process 0.
+struct BarrierState {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t verdict_round = 0;
+  bool verdict_ok = false;
+  bool have_verdict = false;
+
+  // Coordinator.
+  std::mutex coord_mu;
+  std::vector<Report> reports;
+  std::vector<Report> prev_reports;
+  uint64_t coord_round = 0;
+};
+
+struct ProcessContext {
+  std::unique_ptr<Controller> ctl;
+  std::unique_ptr<TcpTransport> transport;
+  std::unique_ptr<DistributedProgressRouter> router;
+  BarrierState barrier;
+
+  void HandleControl(uint32_t src, std::span<const uint8_t> payload,
+                     ProcessContext* coordinator);
+  void RunQuiesceBarrier();
+};
+
+void ProcessContext::HandleControl(uint32_t src, std::span<const uint8_t> payload,
+                                   ProcessContext* coordinator) {
+  ByteReader r(payload);
+  const uint8_t kind = r.ReadU8();
+  if (kind == kVerdict) {
+    const uint64_t round = r.ReadU64();
+    const bool ok = r.ReadU8() != 0;
+    NAIAD_CHECK(r.ok());
+    {
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      barrier.verdict_round = round;
+      barrier.verdict_ok = ok;
+      barrier.have_verdict = true;
+    }
+    barrier.cv.notify_all();
+    return;
+  }
+  NAIAD_CHECK(kind == kReport);
+  NAIAD_CHECK(coordinator == this);  // reports only go to process 0
+  Report rep;
+  rep.round = r.ReadU64();
+  rep.empty = r.ReadU8() != 0;
+  for (uint64_t& c : rep.counters.v) {
+    c = r.ReadU64();
+  }
+  rep.valid = true;
+  NAIAD_CHECK(r.ok());
+
+  std::vector<uint8_t> verdict_payload;
+  {
+    std::lock_guard<std::mutex> lock(barrier.coord_mu);
+    const uint32_t n = transport->processes();
+    barrier.reports.resize(n);
+    barrier.prev_reports.resize(n);
+    barrier.reports[src] = rep;
+    bool all_here = true;
+    for (const Report& existing : barrier.reports) {
+      if (!existing.valid || existing.round != barrier.coord_round) {
+        all_here = false;
+        break;
+      }
+    }
+    if (!all_here) {
+      return;
+    }
+    bool ok = true;
+    for (uint32_t p = 0; p < n; ++p) {
+      const Report& cur = barrier.reports[p];
+      const Report& prev = barrier.prev_reports[p];
+      if (!cur.empty || !prev.valid || !(cur.counters == prev.counters)) {
+        ok = false;
+        break;
+      }
+    }
+    barrier.prev_reports = barrier.reports;
+    for (Report& existing : barrier.reports) {
+      existing.valid = false;
+    }
+    ByteWriter w(&verdict_payload);
+    w.WriteU8(kVerdict);
+    w.WriteU64(barrier.coord_round);
+    w.WriteU8(ok ? 1 : 0);
+    ++barrier.coord_round;
+  }
+  transport->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
+}
+
+void ProcessContext::RunQuiesceBarrier() {
+  for (uint64_t round = 0;; ++round) {
+    ctl->tracker().WaitFor([&] { return ctl->tracker().Empty(); });
+    // Let the accumulators drain anything still held before counting traffic.
+    router->OnWorkerIdle();
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kReport);
+    w.WriteU64(round);
+    w.WriteU8(ctl->tracker().Empty() ? 1 : 0);
+    for (uint64_t c : SnapshotCounters(*transport).v) {
+      w.WriteU64(c);
+    }
+    transport->Send(0, FrameType::kControl, std::move(payload));
+    bool ok;
+    {
+      std::unique_lock<std::mutex> lock(barrier.mu);
+      barrier.cv.wait(lock, [&] {
+        return barrier.have_verdict && barrier.verdict_round == round;
+      });
+      ok = barrier.verdict_ok;
+      barrier.have_verdict = false;
+    }
+    if (ok) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
+  const uint32_t n = opts.processes;
+  std::vector<ProcessContext> procs(n);
+  std::vector<uint16_t> ports(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    Config cfg;
+    cfg.process_id = p;
+    cfg.processes = n;
+    cfg.workers_per_process = opts.workers_per_process;
+    cfg.batch_size = opts.batch_size;
+    cfg.default_parallelism = opts.default_parallelism;
+    procs[p].ctl = std::make_unique<Controller>(cfg);
+    procs[p].transport = std::make_unique<TcpTransport>(p, n);
+    procs[p].router = std::make_unique<DistributedProgressRouter>(
+        procs[p].ctl.get(), procs[p].transport.get(), opts.strategy);
+    procs[p].ctl->SetProgressRouter(procs[p].router.get());
+    procs[p].ctl->SetDataTransport(procs[p].transport.get());
+    ports[p] = procs[p].transport->Listen();
+  }
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      ProcessContext& me = procs[p];
+      ProcessContext* coordinator = &procs[0];
+      TcpTransport::Callbacks cb;
+      cb.on_data = [&me](uint32_t, std::span<const uint8_t> payload) {
+        me.ctl->ReceiveRemoteBundle(payload);
+      };
+      cb.on_progress = [&me](uint32_t src, std::span<const uint8_t> payload) {
+        me.router->OnProgressFrame(src, payload);
+      };
+      cb.on_progress_acc = [&me](uint32_t src, std::span<const uint8_t> payload) {
+        me.router->OnAccumulatorFrame(src, payload);
+      };
+      cb.on_control = [&me, coordinator](uint32_t src, std::span<const uint8_t> payload) {
+        me.HandleControl(src, payload, coordinator);
+      };
+      me.transport->Start(ports, std::move(cb));
+      me.ctl->SetQuiesceHook([&me] { me.RunQuiesceBarrier(); });
+      body(*me.ctl);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ClusterStats stats;
+  stats.elapsed_seconds = sw.ElapsedSeconds();
+  for (uint32_t p = 0; p < n; ++p) {
+    const TcpTransport& t = *procs[p].transport;
+    stats.progress_bytes +=
+        t.bytes_sent(FrameType::kProgress) + t.bytes_sent(FrameType::kProgressAcc);
+    stats.progress_frames +=
+        t.frames_sent(FrameType::kProgress) + t.frames_sent(FrameType::kProgressAcc);
+    stats.data_bytes += t.bytes_sent(FrameType::kData);
+    stats.data_frames += t.frames_sent(FrameType::kData);
+  }
+  for (uint32_t p = 0; p < n; ++p) {
+    procs[p].transport->Shutdown();
+  }
+  return stats;
+}
+
+}  // namespace naiad

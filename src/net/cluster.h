@@ -1,0 +1,57 @@
+// Multi-process execution harness.
+//
+// The paper's deployment is N processes on N computers; this reproduction runs N processes
+// as N threads of one binary, each with its own Controller, worker pool, logical graph
+// copy (SPMD construction, §3.1), and real TCP connections to every peer. Record exchange,
+// serialization, and the distributed progress protocol all cross genuine sockets; only the
+// wire is loopback (see DESIGN.md substitution #1).
+//
+// Termination uses a two-round stability barrier over control frames: when its tracker is
+// globally empty, a process reports its traffic counters to process 0; the coordinator
+// declares termination once every process reports empty with counters unchanged since the
+// previous round (i.e. nothing happened anywhere in between).
+
+#ifndef SRC_NET_CLUSTER_H_
+#define SRC_NET_CLUSTER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/net/progress_router.h"
+#include "src/net/transport.h"
+
+namespace naiad {
+
+struct ClusterOptions {
+  uint32_t processes = 2;
+  uint32_t workers_per_process = 2;
+  ProgressStrategy strategy = ProgressStrategy::kLocalGlobalAcc;
+  size_t batch_size = 4096;
+  uint32_t default_parallelism = 0;
+};
+
+struct ClusterStats {
+  uint64_t progress_bytes = 0;     // protocol traffic over the wire (Fig. 6c)
+  uint64_t progress_frames = 0;
+  uint64_t data_bytes = 0;         // record-bundle traffic over the wire (Fig. 6a)
+  uint64_t data_frames = 0;
+  double elapsed_seconds = 0;
+};
+
+class Cluster {
+ public:
+  // `body(ctl)` runs once per process on its own thread (SPMD): build the dataflow, call
+  // ctl.Start(), drive the inputs, and call ctl.Join(). Join participates in the global
+  // termination barrier before stopping workers. Returns aggregate traffic statistics.
+  using Body = std::function<void(Controller&)>;
+  static ClusterStats Run(const ClusterOptions& opts, const Body& body);
+};
+
+}  // namespace naiad
+
+#endif  // SRC_NET_CLUSTER_H_

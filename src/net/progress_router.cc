@@ -1,0 +1,171 @@
+#include "src/net/progress_router.h"
+
+#include "src/ser/codec.h"
+
+namespace naiad {
+
+std::vector<uint8_t> DistributedProgressRouter::EncodeUpdates(
+    const std::vector<ProgressUpdate>& ups) {
+  ByteWriter w;
+  Codec<std::vector<ProgressUpdate>>::Encode(w, ups);
+  return std::move(w.buffer());
+}
+
+std::vector<ProgressUpdate> DistributedProgressRouter::DecodeUpdates(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  std::vector<ProgressUpdate> ups;
+  NAIAD_CHECK(Codec<std::vector<ProgressUpdate>>::Decode(r, ups));
+  return ups;
+}
+
+void DistributedProgressRouter::Broadcast(std::vector<ProgressUpdate> updates) {
+  if (updates.empty()) {
+    return;
+  }
+  switch (strategy_) {
+    case ProgressStrategy::kDirect:
+    case ProgressStrategy::kGlobalAcc:
+      Emit(std::move(updates));
+      return;
+    case ProgressStrategy::kLocalAcc:
+    case ProgressStrategy::kLocalGlobalAcc: {
+      bool flush;
+      {
+        std::lock_guard<std::mutex> lock(local_mu_);
+        AddToBuffer(local_buf_, updates);
+        flush = !SafeToHold(local_buf_);
+      }
+      if (flush) {
+        FlushLocal();
+      }
+      return;
+    }
+  }
+}
+
+void DistributedProgressRouter::Emit(std::vector<ProgressUpdate> updates) {
+  if (updates.empty()) {
+    return;
+  }
+  std::vector<uint8_t> payload = EncodeUpdates(updates);
+  const bool to_central = strategy_ == ProgressStrategy::kGlobalAcc ||
+                          strategy_ == ProgressStrategy::kLocalGlobalAcc;
+  if (to_central) {
+    transport_->Send(0, FrameType::kProgressAcc, std::move(payload));
+  } else {
+    transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);
+  }
+}
+
+void DistributedProgressRouter::EmitFromCentral(std::vector<ProgressUpdate> updates) {
+  if (updates.empty()) {
+    return;
+  }
+  std::vector<uint8_t> payload = EncodeUpdates(updates);
+  transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);
+}
+
+void DistributedProgressRouter::OnProgressFrame(uint32_t /*src*/,
+                                                std::span<const uint8_t> payload) {
+  ctl_->tracker().Apply(DecodeUpdates(payload));
+}
+
+void DistributedProgressRouter::OnAccumulatorFrame(uint32_t /*src*/,
+                                                   std::span<const uint8_t> payload) {
+  NAIAD_CHECK(IsCentral());
+  std::vector<ProgressUpdate> ups = DecodeUpdates(payload);
+  bool flush;
+  {
+    std::lock_guard<std::mutex> lock(central_mu_);
+    AddToBuffer(central_buf_, ups);
+    flush = !SafeToHold(central_buf_);
+  }
+  if (flush) {
+    FlushCentral();
+  }
+}
+
+void DistributedProgressRouter::OnWorkerIdle() {
+  FlushLocal();
+  if (IsCentral()) {
+    FlushCentral();
+  }
+}
+
+void DistributedProgressRouter::AddToBuffer(std::map<Pointstamp, int64_t>& buf,
+                                            std::span<const ProgressUpdate> ups) {
+  for (const ProgressUpdate& u : ups) {
+    int64_t& d = buf[u.point];
+    d += u.delta;
+    if (d == 0) {
+      buf.erase(u.point);
+    }
+  }
+}
+
+bool DistributedProgressRouter::SafeToHold(const std::map<Pointstamp, int64_t>& buf) const {
+  if (buf.size() > hold_limit_) {
+    return false;
+  }
+  const ProgressTracker& tracker = ctl_->tracker();
+  for (const auto& [p, delta] : buf) {
+    if (delta <= 0) {
+      continue;  // delaying retirements only makes other frontiers conservative
+    }
+    // A new event at p may be hidden only while p is already known active, or while some
+    // other active pointstamp could-result-in p (§3.3's two conditions).
+    if (tracker.Count(p) > 0) {
+      continue;
+    }
+    if (!tracker.CanDeliver(p)) {
+      continue;  // an active dominator exists
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<ProgressUpdate> DistributedProgressRouter::TakeBuffer(
+    std::map<Pointstamp, int64_t>& buf) {
+  std::vector<ProgressUpdate> out;
+  out.reserve(buf.size());
+  for (const auto& [p, d] : buf) {
+    if (d > 0) {
+      out.push_back({p, d});
+    }
+  }
+  for (const auto& [p, d] : buf) {
+    if (d < 0) {
+      out.push_back({p, d});
+    }
+  }
+  buf.clear();
+  return out;
+}
+
+void DistributedProgressRouter::FlushLocal() {
+  std::vector<ProgressUpdate> ups;
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    if (local_buf_.empty()) {
+      return;
+    }
+    ups = TakeBuffer(local_buf_);
+  }
+  Emit(std::move(ups));
+}
+
+void DistributedProgressRouter::FlushCentral() {
+  std::vector<ProgressUpdate> ups;
+  {
+    std::lock_guard<std::mutex> lock(central_mu_);
+    if (central_buf_.empty()) {
+      return;
+    }
+    ups = TakeBuffer(central_buf_);
+  }
+  EmitFromCentral(std::move(ups));
+}
+
+}  // namespace naiad

@@ -1,0 +1,102 @@
+// The distributed progress-tracking protocol (§3.3).
+//
+// Workers hand their flushed (pointstamp, delta) batches to this router, which must ensure
+// every process's tracker eventually applies them. Four strategies reproduce Fig. 6c:
+//
+//   kDirect          every worker flush is broadcast to all processes immediately ("None").
+//   kLocalAcc        flushes accumulate in a per-process buffer first.
+//   kGlobalAcc       flushes go to a central accumulator (process 0) which broadcasts the
+//                    combined net effect.
+//   kLocalGlobalAcc  both levels, the Naiad default.
+//
+// Accumulators hold an update for pointstamp p only while it is safe (§3.3): a negative
+// delta is always safe to delay (other workers merely overestimate activity), and a
+// positive delta is safe while p is already active locally or while some other active
+// pointstamp could-result-in p (so no frontier decision depends on p yet). Any violation —
+// or a worker running out of work — flushes the whole buffer, positives first (the
+// ProgressBuffer ordering).
+
+#ifndef SRC_NET_PROGRESS_ROUTER_H_
+#define SRC_NET_PROGRESS_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/progress.h"
+#include "src/net/transport.h"
+
+namespace naiad {
+
+enum class ProgressStrategy : uint8_t {
+  kDirect = 0,
+  kLocalAcc = 1,
+  kGlobalAcc = 2,
+  kLocalGlobalAcc = 3,
+};
+
+inline const char* ToString(ProgressStrategy s) {
+  switch (s) {
+    case ProgressStrategy::kDirect:
+      return "None";
+    case ProgressStrategy::kLocalAcc:
+      return "LocalAcc";
+    case ProgressStrategy::kGlobalAcc:
+      return "GlobalAcc";
+    case ProgressStrategy::kLocalGlobalAcc:
+      return "Local+GlobalAcc";
+  }
+  return "?";
+}
+
+class DistributedProgressRouter final : public ProgressRouter {
+ public:
+  DistributedProgressRouter(Controller* ctl, TcpTransport* transport,
+                            ProgressStrategy strategy, size_t hold_limit = 1024)
+      : ctl_(ctl), transport_(transport), strategy_(strategy), hold_limit_(hold_limit) {}
+
+  // From local workers (and input handles).
+  void Broadcast(std::vector<ProgressUpdate> updates) override;
+  void OnWorkerIdle() override;
+
+  // Transport receive paths.
+  void OnProgressFrame(uint32_t src, std::span<const uint8_t> payload);
+  void OnAccumulatorFrame(uint32_t src, std::span<const uint8_t> payload);
+
+ private:
+  bool IsCentral() const { return ctl_->config().process_id == 0; }
+
+  // Serializes and emits `updates` one level up: to all processes (direct) or to the
+  // central accumulator, depending on the strategy.
+  void Emit(std::vector<ProgressUpdate> updates);
+  // Central accumulator output: broadcast to every process including self.
+  void EmitFromCentral(std::vector<ProgressUpdate> updates);
+
+  void AddToBuffer(std::map<Pointstamp, int64_t>& buf, std::span<const ProgressUpdate> ups);
+  bool SafeToHold(const std::map<Pointstamp, int64_t>& buf) const;
+  std::vector<ProgressUpdate> TakeBuffer(std::map<Pointstamp, int64_t>& buf);
+
+  void FlushLocal();
+  void FlushCentral();
+
+  static std::vector<uint8_t> EncodeUpdates(const std::vector<ProgressUpdate>& ups);
+  static std::vector<ProgressUpdate> DecodeUpdates(std::span<const uint8_t> payload);
+
+  Controller* ctl_;
+  TcpTransport* transport_;
+  ProgressStrategy strategy_;
+  size_t hold_limit_;
+
+  std::mutex local_mu_;
+  std::map<Pointstamp, int64_t> local_buf_;
+
+  std::mutex central_mu_;  // process 0 only
+  std::map<Pointstamp, int64_t> central_buf_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_NET_PROGRESS_ROUTER_H_

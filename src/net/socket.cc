@@ -1,0 +1,145 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::WriteAll(std::span<const uint8_t> data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::ReadAll(std::span<uint8_t> data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::recv(fd_, data.data() + off, data.size() - off, 0);
+    if (n == 0) {
+      return false;  // peer closed
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void Socket::SetNoDelay() {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::ConnectLocal(uint16_t port) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    NAIAD_CHECK(fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      Socket s(fd);
+      s.SetNoDelay();
+      return s;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Socket();
+}
+
+Listener::Listener(Listener&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+uint16_t Listener::Open() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  NAIAD_CHECK(fd_ >= 0);
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    Close();
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  NAIAD_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  return ntohs(addr.sin_port);
+}
+
+Socket Listener::Accept() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Socket();
+  }
+  Socket s(fd);
+  s.SetNoDelay();
+  return s;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace naiad

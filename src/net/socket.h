@@ -1,0 +1,69 @@
+// RAII POSIX TCP sockets (§3.5 "Networking").
+//
+// Naiad's remote channels are long-lived TCP connections with Nagle's algorithm disabled —
+// the paper found the default Nagle/delayed-ACK interaction added 200 ms stalls to small
+// tail messages. We set TCP_NODELAY on every connection for the same reason. Loopback is
+// the wire in this reproduction, but the code path (connect/accept, framing, full
+// reads/writes, EOF handling) is exactly what a physical cluster would run.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace naiad {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes the whole buffer; returns false on error/peer close.
+  bool WriteAll(std::span<const uint8_t> data);
+  // Reads exactly data.size() bytes; returns false on EOF/error.
+  bool ReadAll(std::span<uint8_t> data);
+
+  void SetNoDelay();
+  // Unblocks any reader/writer, then closes.
+  void ShutdownBoth();
+  void Close();
+
+  // Connects to 127.0.0.1:port (retrying briefly while the listener comes up).
+  static Socket ConnectLocal(uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds 127.0.0.1 on an ephemeral port; returns the chosen port (0 on failure).
+  uint16_t Open();
+  Socket Accept();
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_NET_SOCKET_H_

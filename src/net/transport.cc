@@ -1,0 +1,189 @@
+#include "src/net/transport.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+TcpTransport::TcpTransport(uint32_t process_id, uint32_t processes)
+    : pid_(process_id), nprocs_(processes) {
+  peers_.resize(nprocs_);
+  for (uint32_t p = 0; p < nprocs_; ++p) {
+    if (p != pid_) {
+      peers_[p] = std::make_unique<Peer>();
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+uint16_t TcpTransport::Listen() {
+  uint16_t port = listener_.Open();
+  NAIAD_CHECK(port != 0);
+  return port;
+}
+
+void TcpTransport::Start(const std::vector<uint16_t>& ports, Callbacks cb) {
+  cb_ = std::move(cb);
+  NAIAD_CHECK(ports.size() == nprocs_);
+  // Deterministic mesh bring-up: process j dials every i < j; process i accepts from every
+  // j > i. The dialer announces its id in a one-byte-wide handshake.
+  for (uint32_t i = 0; i < pid_; ++i) {
+    Socket s = Socket::ConnectLocal(ports[i]);
+    NAIAD_CHECK(s.valid()) << "connect to process " << i << " failed";
+    uint32_t me = pid_;
+    NAIAD_CHECK(s.WriteAll(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(&me), sizeof(me))));
+    peers_[i]->socket = std::move(s);
+  }
+  for (uint32_t j = pid_ + 1; j < nprocs_; ++j) {
+    Socket s = listener_.Accept();
+    NAIAD_CHECK(s.valid());
+    uint32_t who = 0;
+    NAIAD_CHECK(
+        s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who))));
+    NAIAD_CHECK(who > pid_ && who < nprocs_);
+    NAIAD_CHECK(!peers_[who]->socket.valid());
+    peers_[who]->socket = std::move(s);
+  }
+  for (uint32_t p = 0; p < nprocs_; ++p) {
+    if (p == pid_) {
+      continue;
+    }
+    Peer* peer = peers_[p].get();
+    peer->sender = std::thread([this, peer] { SenderMain(*peer); });
+    peer->receiver = std::thread([this, peer] { ReceiverMain(*peer); });
+  }
+}
+
+std::vector<uint8_t> TcpTransport::MakeFrame(FrameType type,
+                                             std::span<const uint8_t> payload) const {
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + 9);
+  ByteWriter w(&frame);
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU32(pid_);
+  w.WriteBytes(payload.data(), payload.size());
+  return frame;
+}
+
+void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload) {
+  if (dst == pid_) {
+    // Self-sends dispatch inline and are not network traffic; byte counters track only
+    // what would cross the wire (the quantity Fig. 6c reports).
+    Dispatch(type, pid_, payload);
+    return;
+  }
+  std::vector<uint8_t> frame = MakeFrame(type, payload);
+  frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_[static_cast<size_t>(type)].fetch_add(frame.size(), std::memory_order_relaxed);
+  Peer& peer = *peers_[dst];
+  {
+    std::lock_guard<std::mutex> lock(peer.mu);
+    if (peer.closed) {
+      return;
+    }
+    peer.queue.push_back(std::move(frame));
+  }
+  peer.cv.notify_one();
+}
+
+void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload,
+                                  bool include_self) {
+  for (uint32_t p = 0; p < nprocs_; ++p) {
+    if (p == pid_ && !include_self) {
+      continue;
+    }
+    Send(p, type, payload);
+  }
+}
+
+void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload) {
+  frames_received_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  switch (type) {
+    case FrameType::kData:
+      cb_.on_data(src, payload);
+      return;
+    case FrameType::kProgress:
+      cb_.on_progress(src, payload);
+      return;
+    case FrameType::kProgressAcc:
+      cb_.on_progress_acc(src, payload);
+      return;
+    case FrameType::kControl:
+      cb_.on_control(src, payload);
+      return;
+  }
+  NAIAD_CHECK(false);
+}
+
+void TcpTransport::SenderMain(Peer& peer) {
+  for (;;) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(peer.mu);
+      peer.cv.wait(lock, [&] { return peer.closed || !peer.queue.empty(); });
+      if (peer.queue.empty()) {
+        return;  // closed and drained
+      }
+      frame = std::move(peer.queue.front());
+      peer.queue.pop_front();
+    }
+    if (!peer.socket.WriteAll(frame)) {
+      return;  // peer went away during shutdown
+    }
+  }
+}
+
+void TcpTransport::ReceiverMain(Peer& peer) {
+  for (;;) {
+    uint8_t header[9];
+    if (!peer.socket.ReadAll(header)) {
+      return;
+    }
+    ByteReader hr(header);
+    const uint32_t len = hr.ReadU32();
+    const auto type = static_cast<FrameType>(hr.ReadU8());
+    const uint32_t src = hr.ReadU32();
+    NAIAD_CHECK(static_cast<uint8_t>(type) < kNumFrameTypes);
+    NAIAD_CHECK(src < nprocs_);
+    std::vector<uint8_t> payload(len);
+    if (len > 0 && !peer.socket.ReadAll(payload)) {
+      return;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    Dispatch(type, src, payload);
+  }
+}
+
+void TcpTransport::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  for (auto& peer : peers_) {
+    if (peer == nullptr) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(peer->mu);
+      peer->closed = true;
+    }
+    peer->cv.notify_all();
+    if (peer->sender.joinable()) {
+      peer->sender.join();
+    }
+    peer->socket.ShutdownBoth();
+    if (peer->receiver.joinable()) {
+      peer->receiver.join();
+    }
+    peer->socket.Close();
+  }
+  listener_.Close();
+}
+
+}  // namespace naiad

@@ -1,0 +1,106 @@
+// The inter-process transport (§3): a full mesh of TCP connections, one per process pair,
+// with a dedicated send thread (draining a FIFO queue) and receive thread per peer.
+// Per-pair FIFO is what the distributed progress protocol requires of its channels (§3.3).
+//
+// Frames: [u32 length][u8 type][u32 src_process][payload]. Self-addressed sends dispatch
+// directly (no socket to self), preserving the "broadcast includes self" semantics.
+
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/net/socket.h"
+
+namespace naiad {
+
+enum class FrameType : uint8_t {
+  kData = 0,         // record bundle, handled by Controller::ReceiveRemoteBundle
+  kProgress = 1,     // progress updates for direct application
+  kProgressAcc = 2,  // progress updates addressed to the central accumulator
+  kControl = 3,      // cluster control (termination barrier)
+};
+inline constexpr int kNumFrameTypes = 4;
+
+class TcpTransport final : public DataTransport {
+ public:
+  struct Callbacks {
+    std::function<void(uint32_t src, std::span<const uint8_t>)> on_data;
+    std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress;
+    std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress_acc;
+    std::function<void(uint32_t src, std::span<const uint8_t>)> on_control;
+  };
+
+  TcpTransport(uint32_t process_id, uint32_t processes);
+  ~TcpTransport() override;
+
+  // Phase 1 (launcher thread): open the listener, returning its port.
+  uint16_t Listen();
+  // Phase 2 (per-process thread): establish the mesh given everyone's ports, then start
+  // the I/O threads. Callbacks fire on receive threads (or inline for self-sends).
+  void Start(const std::vector<uint16_t>& ports, Callbacks cb);
+
+  // DataTransport: ship a record bundle.
+  void SendBundle(uint32_t dst_process, std::vector<uint8_t> frame) override {
+    Send(dst_process, FrameType::kData, std::move(frame));
+  }
+
+  void Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload);
+  // Sends to every process; when include_self, the matching callback runs inline.
+  void BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload, bool include_self);
+
+  void Shutdown();
+
+  uint64_t bytes_sent(FrameType type) const {
+    return bytes_sent_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+  }
+  uint64_t frames_sent(FrameType type) const {
+    return frames_sent_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+  }
+  uint64_t frames_received(FrameType type) const {
+    return frames_received_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+  }
+
+  uint32_t process_id() const { return pid_; }
+  uint32_t processes() const { return nprocs_; }
+
+ private:
+  struct Peer {
+    Socket socket;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> queue;  // fully framed bytes
+    bool closed = false;
+    std::thread sender;
+    std::thread receiver;
+  };
+
+  void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload);
+  void SenderMain(Peer& peer);
+  void ReceiverMain(Peer& peer);
+  std::vector<uint8_t> MakeFrame(FrameType type, std::span<const uint8_t> payload) const;
+
+  uint32_t pid_;
+  uint32_t nprocs_;
+  Listener listener_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by process id; [pid_] unused
+  Callbacks cb_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> bytes_sent_[kNumFrameTypes] = {};
+  std::atomic<uint64_t> frames_sent_[kNumFrameTypes] = {};
+  std::atomic<uint64_t> frames_received_[kNumFrameTypes] = {};
+};
+
+}  // namespace naiad
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -1,0 +1,149 @@
+// Bounded binary buffer writer/reader.
+//
+// The original Naiad leaned on .NET serialization; the C++ reproduction needs its own wire
+// format (the calibration notes call this out as the main extra plumbing). Encoding is
+// little-endian fixed-width with explicit length prefixes. The reader is fail-soft: a
+// malformed or truncated buffer flips a sticky error bit instead of reading out of bounds,
+// so network-facing code can reject bad frames without UB.
+
+#ifndef SRC_SER_BYTES_H_
+#define SRC_SER_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace naiad {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::vector<uint8_t>* out) : external_(out) {}
+
+  std::vector<uint8_t>& buffer() { return external_ != nullptr ? *external_ : owned_; }
+  const std::vector<uint8_t>& buffer() const {
+    return external_ != nullptr ? *external_ : owned_;
+  }
+
+  size_t size() const { return buffer().size(); }
+
+  void WriteU8(uint8_t v) { buffer().push_back(v); }
+
+  void WriteU16(uint16_t v) { AppendLittleEndian(v); }
+  void WriteU32(uint32_t v) { AppendLittleEndian(v); }
+  void WriteU64(uint64_t v) { AppendLittleEndian(v); }
+
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  void WriteF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+  void WriteF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU32(bits);
+  }
+
+  void WriteBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buffer().insert(buffer().end(), p, p + n);
+  }
+
+  // Patches a previously written u32 in place (used for frame length back-filling).
+  void PatchU32(size_t offset, uint32_t v) {
+    NAIAD_CHECK(offset + 4 <= buffer().size());
+    for (int i = 0; i < 4; ++i) {
+      buffer()[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  template <typename T>
+  void AppendLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buffer().push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>* external_ = nullptr;
+  std::vector<uint8_t> owned_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint8_t ReadU8() {
+    if (!Ensure(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  uint16_t ReadU16() { return ReadLittleEndian<uint16_t>(); }
+  uint32_t ReadU32() { return ReadLittleEndian<uint32_t>(); }
+  uint64_t ReadU64() { return ReadLittleEndian<uint64_t>(); }
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+  double ReadF64() {
+    uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  float ReadF32() {
+    uint32_t bits = ReadU32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool ReadBytes(void* out, size_t n) {
+    if (!Ensure(n)) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  T ReadLittleEndian() {
+    if (!Ensure(sizeof(T))) {
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Ensure(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_SER_BYTES_H_

@@ -1,0 +1,247 @@
+// Record codecs: the typed (de)serialization layer over ByteWriter/ByteReader.
+//
+// Codec<T> is defined for arithmetic types, std::string, std::pair, std::tuple,
+// std::vector, and any struct exposing `void Encode(ByteWriter&) const` plus
+// `bool Decode(ByteReader&)` (member-serde). Exchange connectors require Codec<T> for their
+// record type only when a message actually crosses a process boundary; within a process
+// records move as typed C++ values with no serialization, matching §3.1.
+
+#ifndef SRC_SER_CODEC_H_
+#define SRC_SER_CODEC_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+template <typename T, typename = void>
+struct Codec;
+
+template <typename T>
+concept MemberSerde = requires(const T ct, T t, ByteWriter& w, ByteReader& r) {
+  { ct.Encode(w) } -> std::same_as<void>;
+  { t.Decode(r) } -> std::same_as<bool>;
+};
+
+template <typename T>
+concept Encodable = requires(ByteWriter& w, ByteReader& r, const T& cv, T& v) {
+  Codec<T>::Encode(w, cv);
+  { Codec<T>::Decode(r, v) } -> std::same_as<bool>;
+};
+
+// -- arithmetic and bool ------------------------------------------------------------------
+
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>>> {
+  static void Encode(ByteWriter& w, const T& v) {
+    if constexpr (sizeof(T) == 1) {
+      w.WriteU8(static_cast<uint8_t>(v));
+    } else if constexpr (sizeof(T) == 2) {
+      w.WriteU16(static_cast<uint16_t>(v));
+    } else if constexpr (sizeof(T) == 4) {
+      w.WriteU32(static_cast<uint32_t>(v));
+    } else {
+      w.WriteU64(static_cast<uint64_t>(v));
+    }
+  }
+  static bool Decode(ByteReader& r, T& v) {
+    if constexpr (sizeof(T) == 1) {
+      v = static_cast<T>(r.ReadU8());
+    } else if constexpr (sizeof(T) == 2) {
+      v = static_cast<T>(r.ReadU16());
+    } else if constexpr (sizeof(T) == 4) {
+      v = static_cast<T>(r.ReadU32());
+    } else {
+      v = static_cast<T>(r.ReadU64());
+    }
+    return r.ok();
+  }
+};
+
+template <>
+struct Codec<double> {
+  static void Encode(ByteWriter& w, const double& v) { w.WriteF64(v); }
+  static bool Decode(ByteReader& r, double& v) {
+    v = r.ReadF64();
+    return r.ok();
+  }
+};
+
+template <>
+struct Codec<float> {
+  static void Encode(ByteWriter& w, const float& v) { w.WriteF32(v); }
+  static bool Decode(ByteReader& r, float& v) {
+    v = r.ReadF32();
+    return r.ok();
+  }
+};
+
+// -- string -------------------------------------------------------------------------------
+
+template <>
+struct Codec<std::string> {
+  static void Encode(ByteWriter& w, const std::string& v) {
+    w.WriteU32(static_cast<uint32_t>(v.size()));
+    w.WriteBytes(v.data(), v.size());
+  }
+  static bool Decode(ByteReader& r, std::string& v) {
+    uint32_t n = r.ReadU32();
+    if (!r.ok() || r.remaining() < n) {
+      return false;
+    }
+    v.resize(n);
+    return r.ReadBytes(v.data(), n);
+  }
+};
+
+// -- pair / tuple -------------------------------------------------------------------------
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void Encode(ByteWriter& w, const std::pair<A, B>& v) {
+    Codec<A>::Encode(w, v.first);
+    Codec<B>::Encode(w, v.second);
+  }
+  static bool Decode(ByteReader& r, std::pair<A, B>& v) {
+    return Codec<A>::Decode(r, v.first) && Codec<B>::Decode(r, v.second);
+  }
+};
+
+template <typename... Ts>
+struct Codec<std::tuple<Ts...>> {
+  static void Encode(ByteWriter& w, const std::tuple<Ts...>& v) {
+    std::apply([&](const Ts&... elems) { (Codec<Ts>::Encode(w, elems), ...); }, v);
+  }
+  static bool Decode(ByteReader& r, std::tuple<Ts...>& v) {
+    return std::apply([&](Ts&... elems) { return (Codec<Ts>::Decode(r, elems) && ...); }, v);
+  }
+};
+
+// -- vector -------------------------------------------------------------------------------
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void Encode(ByteWriter& w, const std::vector<T>& v) {
+    w.WriteU32(static_cast<uint32_t>(v.size()));
+    if constexpr (std::is_arithmetic_v<T>) {
+      w.WriteBytes(v.data(), v.size() * sizeof(T));  // bulk path for numeric payloads
+    } else {
+      for (const T& e : v) {
+        Codec<T>::Encode(w, e);
+      }
+    }
+  }
+  static bool Decode(ByteReader& r, std::vector<T>& v) {
+    uint32_t n = r.ReadU32();
+    if (!r.ok()) {
+      return false;
+    }
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (r.remaining() < static_cast<size_t>(n) * sizeof(T)) {
+        return false;
+      }
+      v.resize(n);
+      return r.ReadBytes(v.data(), static_cast<size_t>(n) * sizeof(T));
+    } else {
+      v.clear();
+      v.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        T e{};
+        if (!Codec<T>::Decode(r, e)) {
+          return false;
+        }
+        v.push_back(std::move(e));
+      }
+      return true;
+    }
+  }
+};
+
+// -- ordered containers (operator state checkpoints) ----------------------------------------
+
+template <typename K, typename V>
+struct Codec<std::map<K, V>> {
+  static void Encode(ByteWriter& w, const std::map<K, V>& m) {
+    w.WriteU32(static_cast<uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      Codec<K>::Encode(w, k);
+      Codec<V>::Encode(w, v);
+    }
+  }
+  static bool Decode(ByteReader& r, std::map<K, V>& m) {
+    uint32_t n = r.ReadU32();
+    if (!r.ok()) {
+      return false;
+    }
+    m.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      K k{};
+      V v{};
+      if (!Codec<K>::Decode(r, k) || !Codec<V>::Decode(r, v)) {
+        return false;
+      }
+      m.emplace(std::move(k), std::move(v));
+    }
+    return true;
+  }
+};
+
+template <typename T>
+struct Codec<std::set<T>> {
+  static void Encode(ByteWriter& w, const std::set<T>& s) {
+    w.WriteU32(static_cast<uint32_t>(s.size()));
+    for (const T& v : s) {
+      Codec<T>::Encode(w, v);
+    }
+  }
+  static bool Decode(ByteReader& r, std::set<T>& s) {
+    uint32_t n = r.ReadU32();
+    if (!r.ok()) {
+      return false;
+    }
+    s.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      T v{};
+      if (!Codec<T>::Decode(r, v)) {
+        return false;
+      }
+      s.insert(std::move(v));
+    }
+    return true;
+  }
+};
+
+// -- member-serde structs -----------------------------------------------------------------
+
+template <typename T>
+struct Codec<T, std::enable_if_t<MemberSerde<T>>> {
+  static void Encode(ByteWriter& w, const T& v) { v.Encode(w); }
+  static bool Decode(ByteReader& r, T& v) { return v.Decode(r); }
+};
+
+// -- convenience --------------------------------------------------------------------------
+
+template <typename T>
+std::vector<uint8_t> EncodeToBytes(const T& v) {
+  ByteWriter w;
+  Codec<T>::Encode(w, v);
+  return std::move(w.buffer());
+}
+
+template <typename T>
+bool DecodeFromBytes(std::span<const uint8_t> bytes, T& out) {
+  ByteReader r(bytes);
+  return Codec<T>::Decode(r, out) && r.AtEnd();
+}
+
+}  // namespace naiad
+
+#endif  // SRC_SER_CODEC_H_

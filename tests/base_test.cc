@@ -1,0 +1,214 @@
+// Unit tests for src/base: containers, queues, synchronization, rng, pooling, hashing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/base/event_count.h"
+#include "src/base/hash.h"
+#include "src/base/inline_vec.h"
+#include "src/base/mpsc_queue.h"
+#include "src/base/pool.h"
+#include "src/base/rng.h"
+#include "src/base/stopwatch.h"
+
+namespace naiad {
+namespace {
+
+TEST(InlineVecTest, PushPopAndAccess) {
+  InlineVec<uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v.back(), 2u);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1u);
+}
+
+TEST(InlineVecTest, EqualityAndLexOrder) {
+  InlineVec<uint64_t, 4> a{1, 2};
+  InlineVec<uint64_t, 4> b{1, 2};
+  InlineVec<uint64_t, 4> c{1, 3};
+  InlineVec<uint64_t, 4> shorter{1};
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(shorter < a);  // prefix compares less
+  InlineVec<uint64_t, 4> bigger{2, 0};
+  EXPECT_TRUE(a < bigger);
+}
+
+TEST(InlineVecTest, ResizeAndClear) {
+  InlineVec<int, 8> v;
+  v.resize(5, 7);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 7);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(MpscQueueTest, FifoSingleProducer) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 100; ++i) {
+    q.Push(i);
+  }
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainInto(out), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpscQueueTest, ConcurrentProducersLoseNothing) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<int> out;
+  while (out.size() < kProducers * kPerProducer) {
+    q.DrainInto(out);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  std::set<int> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(MpscQueueTest, PerProducerOrderPreserved) {
+  MpscQueue<std::pair<int, int>> q;
+  std::thread a([&] {
+    for (int i = 0; i < 1000; ++i) {
+      q.Push({0, i});
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < 1000; ++i) {
+      q.Push({1, i});
+    }
+  });
+  a.join();
+  b.join();
+  std::vector<std::pair<int, int>> out;
+  q.DrainInto(out);
+  int last[2] = {-1, -1};
+  for (auto [who, seq] : out) {
+    EXPECT_GT(seq, last[who]);
+    last[who] = seq;
+  }
+}
+
+TEST(EventCountTest, NotifyWakesWaiter) {
+  EventCount ev;
+  std::atomic<bool> woke{false};
+  EventCount::Ticket ticket = ev.PrepareWait();
+  std::thread t([&] {
+    ev.CommitWait(ticket, std::chrono::microseconds(500000));
+    woke.store(true);
+  });
+  ev.NotifyAll();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(EventCountTest, StaleTicketReturnsImmediately) {
+  EventCount ev;
+  EventCount::Ticket ticket = ev.PrepareWait();
+  ev.NotifyOne();
+  Stopwatch sw;
+  ev.CommitWait(ticket, std::chrono::microseconds(500000));
+  EXPECT_LT(sw.ElapsedSeconds(), 0.25);  // did not wait for the timeout
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowInRangeAndDoubleInUnit) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(17), 17u);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallRanks) {
+  ZipfSampler z(1000, 1.1, 3);
+  size_t low = 0;
+  constexpr size_t kSamples = 20000;
+  for (size_t i = 0; i < kSamples; ++i) {
+    if (z.Next() < 10) {
+      ++low;
+    }
+  }
+  // Ranks 0..9 carry far more than 1% of the mass under a Zipf(1.1) law.
+  EXPECT_GT(low, kSamples / 5);
+}
+
+TEST(PoolTest, RecyclesBuffers) {
+  BufferPool<int> pool;
+  std::vector<int> buf = pool.Get();
+  buf.reserve(128);
+  int* data = buf.data();
+  pool.Put(std::move(buf));
+  std::vector<int> again = pool.Get();
+  EXPECT_EQ(again.data(), data);
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), 128u);
+}
+
+TEST(PoolTest, CapsPooledCount) {
+  BufferPool<int> pool(2);
+  pool.Put(std::vector<int>(8));
+  pool.Put(std::vector<int>(8));
+  pool.Put(std::vector<int>(8));
+  EXPECT_EQ(pool.PooledCount(), 2u);
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_EQ(HashString("naiad"), HashString("naiad"));
+  EXPECT_NE(HashString("naiad"), HashString("naiae"));
+  // Sequential keys should land in different buckets of a small table.
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 64; ++i) {
+    buckets.insert(Mix64(i) % 8);
+  }
+  EXPECT_EQ(buckets.size(), 8u);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 0.1);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace naiad

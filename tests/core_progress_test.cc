@@ -1,0 +1,153 @@
+// Tests for occurrence-count progress tracking (§2.3, §3.3): frontier queries, batch
+// application, transient negative counts, and the ProgressBuffer flush discipline.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/event_count.h"
+#include "src/core/graph.h"
+#include "src/core/progress.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+namespace {
+
+Timestamp T(uint64_t e, std::initializer_list<uint64_t> cs = {}) { return Timestamp(e, cs); }
+
+// Linear graph with a loop, as in the summary tests: in -> ingress -> body -> egress -> out
+// with body -> feedback -> body.
+struct LoopGraph {
+  LogicalGraph g;
+  StageId in, ingress, body, egress, out, feedback;
+  ConnectorId in_ing, ing_body, body_eg, eg_out, body_fb, fb_body;
+
+  LoopGraph() {
+    auto stage = [&](uint32_t depth, TimestampAction act) {
+      StageDef d;
+      d.depth = depth;
+      d.action = act;
+      return g.AddStage(std::move(d));
+    };
+    in = stage(0, TimestampAction::kNone);
+    ingress = stage(0, TimestampAction::kIngress);
+    body = stage(1, TimestampAction::kNone);
+    egress = stage(1, TimestampAction::kEgress);
+    out = stage(0, TimestampAction::kNone);
+    feedback = stage(1, TimestampAction::kFeedback);
+    in_ing = Conn(in, ingress);
+    ing_body = Conn(ingress, body);
+    body_eg = Conn(body, egress);
+    eg_out = Conn(egress, out);
+    body_fb = Conn(body, feedback);
+    fb_body = Conn(feedback, body);
+    g.Freeze();
+  }
+  ConnectorId Conn(StageId s, StageId d) {
+    ConnectorDef cd;
+    cd.src = s;
+    cd.dst = d;
+    return g.AddConnector(std::move(cd));
+  }
+};
+
+class ProgressTrackerTest : public ::testing::Test {
+ protected:
+  LoopGraph lg;
+  EventCount ev;
+  ProgressTracker tracker{&lg.g, &ev};
+
+  void Apply(const Pointstamp& p, int64_t d) {
+    ProgressUpdate u{p, d};
+    tracker.Apply(std::span<const ProgressUpdate>(&u, 1));
+  }
+};
+
+TEST_F(ProgressTrackerTest, EmptyTrackerDeliversAnything) {
+  EXPECT_TRUE(tracker.Empty());
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {0}), Location::Stage(lg.body)}));
+}
+
+TEST_F(ProgressTrackerTest, UpstreamMessageBlocksNotification) {
+  Apply({T(0), Location::Connector(lg.in_ing)}, +1);
+  EXPECT_FALSE(tracker.CanDeliver({T(0, {0}), Location::Stage(lg.body)}));
+  EXPECT_FALSE(tracker.CanDeliver({T(0, {5}), Location::Stage(lg.body)}));
+  EXPECT_FALSE(tracker.CanDeliver({T(1, {0}), Location::Stage(lg.body)}));
+  Apply({T(0), Location::Connector(lg.in_ing)}, -1);
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {0}), Location::Stage(lg.body)}));
+}
+
+TEST_F(ProgressTrackerTest, LaterEpochDoesNotBlockEarlierIterations) {
+  Apply({T(1), Location::Stage(lg.in)}, +1);  // epoch 1 still open at the input
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {3}), Location::Stage(lg.body)}));
+  EXPECT_FALSE(tracker.CanDeliver({T(1, {0}), Location::Stage(lg.body)}));
+}
+
+TEST_F(ProgressTrackerTest, SameLocationEarlierTimeBlocks) {
+  Apply({T(0, {1}), Location::Stage(lg.body)}, +1);  // pending notification at iter 1
+  EXPECT_FALSE(tracker.CanDeliver({T(0, {2}), Location::Stage(lg.body)}));
+  // Its own pointstamp does not block itself (q != p in the frontier rule).
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {1}), Location::Stage(lg.body)}));
+  // The feedback path makes iteration 1 messages *not* block iteration 1 upstream-equal
+  // cases but DOES block iteration 2 everywhere in the loop.
+  EXPECT_FALSE(tracker.CanDeliver({T(0, {2}), Location::Stage(lg.egress)}));
+}
+
+TEST_F(ProgressTrackerTest, DownstreamDoesNotBlockUpstream) {
+  Apply({T(0), Location::Connector(lg.eg_out)}, +1);
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {0}), Location::Stage(lg.body)}));
+  EXPECT_TRUE(tracker.CanDeliver({T(5), Location::Stage(lg.in)}));
+}
+
+TEST_F(ProgressTrackerTest, TransientNegativeCountIsInactive) {
+  // A consumer's -1 may overtake the producer's +1 (§3.3); negative counts must not block.
+  Apply({T(0), Location::Connector(lg.in_ing)}, -1);
+  EXPECT_FALSE(tracker.Empty());
+  EXPECT_TRUE(tracker.CanDeliver({T(0, {0}), Location::Stage(lg.body)}));
+  Apply({T(0), Location::Connector(lg.in_ing)}, +1);
+  EXPECT_TRUE(tracker.Empty());
+}
+
+TEST_F(ProgressTrackerTest, FrontierPassedIncludesSelf) {
+  Apply({T(0), Location::Stage(lg.out)}, +1);
+  EXPECT_FALSE(tracker.FrontierPassed({T(0), Location::Stage(lg.out)}));
+  EXPECT_TRUE(tracker.CanDeliver({T(0), Location::Stage(lg.out)}));  // q != p rule
+  Apply({T(0), Location::Stage(lg.out)}, -1);
+  EXPECT_TRUE(tracker.FrontierPassed({T(0), Location::Stage(lg.out)}));
+}
+
+TEST_F(ProgressTrackerTest, VersionAdvancesOnApply) {
+  uint64_t v0 = tracker.version();
+  Apply({T(0), Location::Stage(lg.in)}, +1);
+  EXPECT_GT(tracker.version(), v0);
+}
+
+TEST(ProgressBufferTest, CombinesAndOrdersPositivesFirst) {
+  ProgressBuffer buf;
+  Pointstamp a{Timestamp(0), Location::Stage(0)};
+  Pointstamp b{Timestamp(1), Location::Stage(0)};
+  Pointstamp c{Timestamp(2), Location::Stage(0)};
+  buf.Add(a, +1);
+  buf.Add(a, +2);
+  buf.Add(b, -1);
+  buf.Add(c, +1);
+  buf.Add(c, -1);  // cancels out
+  std::vector<ProgressUpdate> out = buf.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].point, a);
+  EXPECT_EQ(out[0].delta, 3);
+  EXPECT_EQ(out[1].point, b);
+  EXPECT_EQ(out[1].delta, -1);
+  EXPECT_TRUE(buf.Empty());
+}
+
+TEST(ProgressUpdateTest, SerializationRoundTrip) {
+  ProgressUpdate u{{Timestamp(3, {1, 2}), Location::Connector(9)}, -4};
+  std::vector<uint8_t> bytes = EncodeToBytes(u);
+  ProgressUpdate out;
+  ASSERT_TRUE(DecodeFromBytes(std::span<const uint8_t>(bytes), out));
+  EXPECT_EQ(out, u);
+}
+
+}  // namespace
+}  // namespace naiad

@@ -1,0 +1,435 @@
+// End-to-end tests of the single-process runtime: typed stages, exchange partitioning,
+// epochs and notifications, loop contexts, the Figure 4 vertex, and the §3.3 safety
+// property under multi-worker execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/io.h"
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+
+namespace naiad {
+namespace {
+
+// A stateless map vertex.
+class DoubleVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t& x : batch) {
+      x *= 2;
+    }
+    output().SendBatch(t, std::move(batch));
+  }
+};
+
+TEST(RuntimeTest, MapPipelineDeliversPerEpoch) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  StageId map = b.NewStage<DoubleVertex>(StageOptions{.name = "double"}, [](uint32_t) {
+    return std::make_unique<DoubleVertex>();
+  });
+  b.Connect<DoubleVertex, uint64_t>(in, map);
+
+  std::mutex mu;
+  std::map<uint64_t, std::multiset<uint64_t>> results;
+  Subscribe<uint64_t>(b.OutputOf<uint64_t>(map),
+                      [&](uint64_t epoch, std::vector<uint64_t>& recs) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        results[epoch].insert(recs.begin(), recs.end());
+                      });
+
+  ctl.Start();
+  handle->OnNext({1, 2, 3});
+  handle->OnNext({10});
+  handle->OnNext({});  // empty epoch
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(results[0], (std::multiset<uint64_t>{2, 4, 6}));
+  EXPECT_EQ(results[1], (std::multiset<uint64_t>{20}));
+  EXPECT_EQ(results.count(2), 0u);  // empty epochs produce no callback
+}
+
+// Records which vertex instance saw which key.
+class RecordingVertex final : public SinkVertex<uint64_t> {
+ public:
+  RecordingVertex(std::mutex* mu, std::map<uint64_t, std::set<uint32_t>>* seen)
+      : mu_(mu), seen_(seen) {}
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (uint64_t x : batch) {
+      (*seen_)[x].insert(address().index);
+    }
+  }
+
+ private:
+  std::mutex* mu_;
+  std::map<uint64_t, std::set<uint32_t>>* seen_;
+};
+
+TEST(RuntimeTest, ExchangeRoutesEqualKeysToOneVertex) {
+  Controller ctl(Config{.workers_per_process = 4});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::mutex mu;
+  std::map<uint64_t, std::set<uint32_t>> seen;
+  StageId sink = b.NewStage<RecordingVertex>(
+      StageOptions{.name = "sink"},
+      [&](uint32_t) { return std::make_unique<RecordingVertex>(&mu, &seen); });
+  b.Connect<RecordingVertex, uint64_t>(in, sink, 0, [](const uint64_t& x) { return x % 10; });
+
+  ctl.Start();
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    data.push_back(i);
+  }
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(seen.size(), 1000u);
+  std::map<uint64_t, uint32_t> key_owner;
+  for (const auto& [value, vertices] : seen) {
+    ASSERT_EQ(vertices.size(), 1u) << "value " << value << " delivered to several vertices";
+    auto [it, fresh] = key_owner.emplace(value % 10, *vertices.begin());
+    EXPECT_EQ(it->second, *vertices.begin()) << "partition key split across vertices";
+  }
+}
+
+// Figure 4: distinct records stream out immediately; counts wait for the notification.
+class DistinctCountVertex final
+    : public Unary2Vertex<std::string, std::string, std::pair<std::string, uint64_t>> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<std::string>& batch) override {
+    auto [it, fresh] = counts_.try_emplace(t);
+    if (fresh) {
+      NotifyAt(t);
+    }
+    for (std::string& s : batch) {
+      auto [cit, first_sight] = it->second.try_emplace(s, 0);
+      if (first_sight) {
+        output1().Send(t, s);
+      }
+      ++cit->second;
+    }
+  }
+  void OnNotify(const Timestamp& t) override {
+    for (const auto& [word, n] : counts_[t]) {
+      output2().Send(t, {word, n});
+    }
+    counts_.erase(t);
+  }
+
+ private:
+  std::map<Timestamp, std::map<std::string, uint64_t>> counts_;
+};
+
+TEST(RuntimeTest, Figure4DistinctCount) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<std::string>(b);
+  StageId dc = b.NewStage<DistinctCountVertex>(StageOptions{.name = "distinct-count"},
+                                               [](uint32_t) {
+                                                 return std::make_unique<DistinctCountVertex>();
+                                               });
+  b.Connect<DistinctCountVertex, std::string>(
+      in, dc, 0, [](const std::string& s) { return HashString(s); });
+
+  std::mutex mu;
+  std::map<uint64_t, std::multiset<std::string>> distinct;
+  std::map<uint64_t, std::map<std::string, uint64_t>> counted;
+  Subscribe<std::string>(b.OutputOf<std::string>(dc, 0),
+                         [&](uint64_t e, std::vector<std::string>& recs) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           distinct[e].insert(recs.begin(), recs.end());
+                         });
+  Subscribe<std::pair<std::string, uint64_t>>(
+      b.OutputOf<std::pair<std::string, uint64_t>>(dc, 1),
+      [&](uint64_t e, std::vector<std::pair<std::string, uint64_t>>& recs) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [w, n] : recs) {
+          counted[e][w] += n;
+        }
+      });
+
+  ctl.Start();
+  handle->OnNext({"a", "b", "a", "a", "c", "b"});
+  handle->OnNext({"b", "b"});
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(distinct[0], (std::multiset<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(distinct[1], (std::multiset<std::string>{"b"}));
+  EXPECT_EQ(counted[0]["a"], 3u);
+  EXPECT_EQ(counted[0]["b"], 2u);
+  EXPECT_EQ(counted[0]["c"], 1u);
+  EXPECT_EQ(counted[1]["b"], 2u);
+}
+
+// Loop body: positive values go around again (decremented); zeros exit.
+class CountdownVertex final : public Unary2Vertex<uint64_t, uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      if (x > 0) {
+        output1().Send(t, x - 1);  // to feedback
+      } else {
+        output2().Send(t, t.coords.back());  // exits with the iteration it finished at
+      }
+    }
+  }
+};
+
+TEST(RuntimeTest, LoopIteratesToFixedPoint) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0);
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+
+  StageId body = b.NewStage<CountdownVertex>(
+      StageOptions{.name = "countdown", .depth = 1},
+      [](uint32_t) { return std::make_unique<CountdownVertex>(); });
+  b.Connect<CountdownVertex, uint64_t>(entered, body);
+  b.Connect<CountdownVertex, uint64_t>(fb.stream(), body);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(body, 0));
+  Stream<uint64_t> done = loop.Egress<uint64_t>(b.OutputOf<uint64_t>(body, 1));
+
+  std::mutex mu;
+  std::map<uint64_t, std::multiset<uint64_t>> exits;
+  Subscribe<uint64_t>(done, [&](uint64_t e, std::vector<uint64_t>& recs) {
+    std::lock_guard<std::mutex> lock(mu);
+    exits[e].insert(recs.begin(), recs.end());
+  });
+
+  ctl.Start();
+  handle->OnNext({0, 3, 5});
+  handle->OnNext({2});
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  // A value v entering at iteration 0 exits at iteration v.
+  EXPECT_EQ(exits[0], (std::multiset<uint64_t>{0, 3, 5}));
+  EXPECT_EQ(exits[1], (std::multiset<uint64_t>{2}));
+}
+
+// Notification-only barrier (the §5.2 microbenchmark pattern): every vertex requests
+// NotifyAt((0, i+1)) from OnNotify((0, i)). The §3.3 safety property says OnNotify((e,i))
+// may run only when *every* vertex has finished iteration i-1.
+class BarrierVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  BarrierVertex(uint64_t iters, std::atomic<uint64_t>* done_counts, std::atomic<bool>* violated)
+      : iters_(iters), done_counts_(done_counts), violated_(violated) {}
+
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {}
+
+  void OnNotify(const Timestamp& t) override {
+    const uint64_t iter = t.coords.back();
+    // Safety: nobody may be more than one full iteration behind us.
+    const uint64_t finished_before = done_counts_[iter > 0 ? iter - 1 : 0].load();
+    if (iter > 0 && finished_before != controller().total_workers()) {
+      violated_->store(true);
+    }
+    done_counts_[iter].fetch_add(1);
+    if (iter + 1 < iters_) {
+      NotifyAt(t.Incremented());
+    }
+  }
+
+ private:
+  uint64_t iters_;
+  std::atomic<uint64_t>* done_counts_;
+  std::atomic<bool>* violated_;
+};
+
+TEST(RuntimeTest, NotificationBarrierIsGloballyOrdered) {
+  constexpr uint64_t kIters = 50;
+  Controller ctl(Config{.workers_per_process = 4});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0);
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+
+  std::vector<std::atomic<uint64_t>> done(kIters);
+  std::atomic<bool> violated{false};
+  StageId barrier = b.NewStage<BarrierVertex>(
+      StageOptions{.name = "barrier",
+                   .depth = 1,
+                   .initial_notifications = {Timestamp(0, {0})}},
+      [&](uint32_t) {
+        return std::make_unique<BarrierVertex>(kIters, done.data(), &violated);
+      });
+  b.Connect<BarrierVertex, uint64_t>(entered, barrier);
+  b.Connect<BarrierVertex, uint64_t>(fb.stream(), barrier);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(barrier, 0));
+
+  ctl.Start();
+  handle->OnCompleted();  // no data: pure coordination
+  ctl.Join();
+
+  EXPECT_FALSE(violated.load());
+  for (uint64_t i = 0; i < kIters; ++i) {
+    EXPECT_EQ(done[i].load(), ctl.total_workers()) << "iteration " << i;
+  }
+}
+
+TEST(RuntimeTest, ProbeWaitsForEpochCompletion) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::atomic<uint64_t> total{0};
+  Probe probe = ForEach<uint64_t>(in, [&](const Timestamp&, std::vector<uint64_t>& recs) {
+    for (uint64_t v : recs) {
+      total.fetch_add(v);
+    }
+  });
+  ctl.Start();
+  handle->OnNext({1, 2, 3, 4});
+  probe.WaitPassed(0);
+  EXPECT_EQ(total.load(), 10u);
+  handle->OnNext({5});
+  probe.WaitPassed(1);
+  EXPECT_EQ(total.load(), 15u);
+  handle->OnCompleted();
+  ctl.Join();
+}
+
+// Re-entrant self-loop: a vertex sends to itself through a feedback stage with a bounded
+// re-entrancy depth; the chain must complete without unbounded queue growth or deadlock.
+class SelfSendVertex final : public Unary2Vertex<uint64_t, uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      if (x > 0) {
+        output1().Send(t, x - 1);
+        output1().Flush();  // force immediate routing (possibly re-entrant)
+      } else {
+        output2().Send(t, 1);
+      }
+    }
+  }
+};
+
+TEST(RuntimeTest, BoundedReentrancyCompletes) {
+  Controller ctl(Config{.workers_per_process = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0);
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+  StageId body = b.NewStage<SelfSendVertex>(
+      StageOptions{.name = "selfsend", .depth = 1, .parallelism = 1, .reentrancy = 8},
+      [](uint32_t) { return std::make_unique<SelfSendVertex>(); });
+  b.Connect<SelfSendVertex, uint64_t>(entered, body);
+  b.Connect<SelfSendVertex, uint64_t>(fb.stream(), body);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(body, 0));
+  Stream<uint64_t> done = loop.Egress<uint64_t>(b.OutputOf<uint64_t>(body, 1));
+
+  std::atomic<uint64_t> finished{0};
+  Subscribe<uint64_t>(done, [&](uint64_t, std::vector<uint64_t>& recs) {
+    finished.fetch_add(recs.size());
+  });
+
+  ctl.Start();
+  handle->OnNext({300});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(finished.load(), 1u);
+}
+
+// §2.4 state-purging notifications: a purge's guarantee holds (never early), it never
+// blocks other vertices' notifications, and it still fires during drain.
+class PurgingVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  PurgingVertex(std::atomic<uint64_t>* purged_epoch, std::atomic<uint64_t>* seen_epoch)
+      : purged_epoch_(purged_epoch), seen_epoch_(seen_epoch) {}
+
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    state_[t.epoch] = batch.size();
+    seen_epoch_->store(std::max(seen_epoch_->load(), t.epoch));
+    PurgeAt(t);  // free this epoch's state once the frontier passes it
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    // Guarantee: the purge must not run before every message at <= t was delivered.
+    EXPECT_GE(seen_epoch_->load(), t.epoch);
+    EXPECT_TRUE(state_.contains(t.epoch));
+    state_.erase(t.epoch);
+    purged_epoch_->store(std::max(purged_epoch_->load(), t.epoch));
+  }
+
+ private:
+  std::map<uint64_t, size_t> state_;
+  std::atomic<uint64_t>* purged_epoch_;
+  std::atomic<uint64_t>* seen_epoch_;
+};
+
+TEST(RuntimeTest, PurgeNotificationsFireAfterGuaranteeAndDoNotBlock) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::atomic<uint64_t> purged{0};
+  std::atomic<uint64_t> seen{0};
+  StageId purger = b.NewStage<PurgingVertex>(
+      StageOptions{.name = "purger", .parallelism = 1},
+      [&](uint32_t) { return std::make_unique<PurgingVertex>(&purged, &seen); });
+  b.Connect<PurgingVertex, uint64_t>(in, purger);
+  // A second consumer with ordinary notifications: purges must not delay it.
+  std::atomic<uint64_t> counted{0};
+  Subscribe<uint64_t>(Stream<uint64_t>(in), [&](uint64_t, std::vector<uint64_t>& recs) {
+    counted.fetch_add(recs.size());
+  });
+  ctl.Start();
+  for (uint64_t e = 0; e < 5; ++e) {
+    handle->OnNext({e, e, e});
+  }
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(counted.load(), 15u);
+  EXPECT_EQ(purged.load(), 4u);  // every epoch's state reclaimed by drain time
+}
+
+TEST(RuntimeTest, ManyWorkersManyEpochsDrainCleanly) {
+  Controller ctl(Config{.workers_per_process = 8});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  StageId map = b.NewStage<DoubleVertex>(StageOptions{.name = "double"}, [](uint32_t) {
+    return std::make_unique<DoubleVertex>();
+  });
+  b.Connect<DoubleVertex, uint64_t>(in, map, 0, [](const uint64_t& x) { return x; });
+  std::atomic<uint64_t> count{0};
+  ForEach<uint64_t>(b.OutputOf<uint64_t>(map),
+                    [&](const Timestamp&, std::vector<uint64_t>& r) {
+                      count.fetch_add(r.size());
+                    });
+  ctl.Start();
+  constexpr int kEpochs = 20;
+  for (int e = 0; e < kEpochs; ++e) {
+    std::vector<uint64_t> data(100);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint64_t>(e * 1000 + static_cast<int>(i));
+    }
+    handle->OnNext(std::move(data));
+  }
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(count.load(), 100u * kEpochs);
+}
+
+}  // namespace
+}  // namespace naiad

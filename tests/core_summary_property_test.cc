@@ -1,0 +1,199 @@
+// Property test: on randomly generated *structured* dataflow graphs, the worklist-computed
+// summary matrix must agree with brute-force path enumeration — for every location pair,
+// Ψ[l1,l2] applied to sample timestamps yields exactly the minimum over all concrete paths
+// (up to a cycle-unrolling bound).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <queue>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/graph.h"
+
+namespace naiad {
+namespace {
+
+// A random nest of loop contexts with pass-through stages, built the same way the typed
+// layer would build it.
+struct RandomStructuredGraph {
+  LogicalGraph g;
+  std::vector<uint32_t> stage_depth;
+
+  explicit RandomStructuredGraph(uint64_t seed) {
+    Rng rng(seed);
+    StageId cur = AddStage(0, TimestampAction::kNone);
+    std::vector<StageId> loop_heads;   // body entry per open loop
+    std::vector<uint32_t> head_depth;
+    uint32_t depth = 0;
+    const int ops = 8 + static_cast<int>(rng.Below(8));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng.Below(4)) {
+        case 0: {  // linear stage
+          StageId next = AddStage(depth, TimestampAction::kNone);
+          Conn(cur, next);
+          cur = next;
+          break;
+        }
+        case 1: {  // open a loop
+          if (depth + 2 >= kMaxLoopDepth) {
+            break;
+          }
+          StageId ingress = AddStage(depth, TimestampAction::kIngress);
+          Conn(cur, ingress);
+          StageId body = AddStage(depth + 1, TimestampAction::kNone);
+          Conn(ingress, body);
+          loop_heads.push_back(body);
+          head_depth.push_back(depth + 1);
+          ++depth;
+          cur = body;
+          break;
+        }
+        case 2: {  // close the innermost loop with feedback + egress
+          if (loop_heads.empty()) {
+            break;
+          }
+          StageId fb = AddStage(depth, TimestampAction::kFeedback);
+          Conn(cur, fb);
+          Conn(fb, loop_heads.back());
+          StageId egress = AddStage(depth, TimestampAction::kEgress);
+          Conn(cur, egress);
+          loop_heads.pop_back();
+          head_depth.pop_back();
+          --depth;
+          cur = egress;
+          break;
+        }
+        default: {  // feedback-only inner cycle on the current stage
+          if (depth == 0) {
+            break;
+          }
+          StageId fb = AddStage(depth, TimestampAction::kFeedback);
+          Conn(cur, fb);
+          Conn(fb, cur);
+          break;
+        }
+      }
+    }
+    // Close any loops left open.
+    while (!loop_heads.empty()) {
+      StageId fb = AddStage(depth, TimestampAction::kFeedback);
+      Conn(cur, fb);
+      Conn(fb, loop_heads.back());
+      StageId egress = AddStage(depth, TimestampAction::kEgress);
+      Conn(cur, egress);
+      loop_heads.pop_back();
+      --depth;
+      cur = egress;
+    }
+    g.Freeze();
+  }
+
+  StageId AddStage(uint32_t depth, TimestampAction action) {
+    StageDef d;
+    d.depth = depth;
+    d.action = action;
+    stage_depth.push_back(depth);
+    return g.AddStage(std::move(d));
+  }
+  void Conn(StageId a, StageId b) {
+    ConnectorDef c;
+    c.src = a;
+    c.dst = b;
+    g.AddConnector(std::move(c));
+  }
+
+  // Brute force: one bounded BFS from (s1, t) recording, per reachable stage, the
+  // total-order minimum adjusted timestamp. Cycle unrolling is pruned by capping loop
+  // counters: increments only grow timestamps, so minima need few unrollings.
+  std::map<StageId, Timestamp> BruteForceAll(StageId s1, const Timestamp& t) const {
+    struct Item {
+      StageId at;
+      Timestamp time;
+    };
+    const uint64_t coord_cap = 8;
+    std::set<std::pair<StageId, Timestamp>> seen;
+    std::map<StageId, Timestamp> best;
+    std::queue<Item> q;
+    q.push({s1, t});
+    seen.insert({s1, t});
+    while (!q.empty()) {
+      Item it = q.front();
+      q.pop();
+      auto [bit, fresh] = best.try_emplace(it.at, it.time);
+      if (!fresh && it.time < bit->second) {
+        bit->second = it.time;
+      }
+      Timestamp adj = g.stage(it.at).ActionSummary().Apply(it.time);
+      bool capped = false;
+      for (uint64_t c : adj.coords) {
+        capped |= c > coord_cap;
+      }
+      if (capped) {
+        continue;
+      }
+      for (const auto& port : g.stage(it.at).outputs) {
+        for (ConnectorId c : port) {
+          if (seen.insert({g.connector(c).dst, adj}).second) {
+            q.push({g.connector(c).dst, adj});
+          }
+        }
+      }
+    }
+    return best;
+  }
+};
+
+class SummaryMatrixProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SummaryMatrixProperty, MatrixAgreesWithPathEnumeration) {
+  RandomStructuredGraph rsg(GetParam());
+  Rng rng(GetParam() ^ 0xf00dULL);
+  const uint32_t n = rsg.g.num_stages();
+  for (StageId s1 = 0; s1 < n; ++s1) {
+    // Sample a timestamp at s1's depth.
+    Timestamp t(rng.Below(2));
+    t.coords.resize(rsg.stage_depth[s1]);
+    for (uint32_t i = 0; i < t.coords.size(); ++i) {
+      t.coords[i] = rng.Below(3);
+    }
+    std::map<StageId, Timestamp> brute = rsg.BruteForceAll(s1, t);
+    for (StageId s2 = 0; s2 < n; ++s2) {
+      const SummaryAntichain& ac = rsg.g.Summaries(Location::Stage(s1), Location::Stage(s2));
+      auto bit = brute.find(s2);
+      if (bit == brute.end()) {
+        EXPECT_TRUE(ac.Empty()) << "matrix has a summary but no path exists: " << s1
+                                << "->" << s2;
+        continue;
+      }
+      ASSERT_FALSE(ac.Empty()) << "path exists but matrix empty: " << s1 << "->" << s2;
+      // The matrix must (a) claim could-result-in at the brute-force minimum, and
+      // (b) not claim anything strictly earlier in the final coordinate.
+      EXPECT_TRUE(ac.CouldResultIn(t, bit->second))
+          << "s1=" << s1 << " s2=" << s2 << " t=" << t.ToString()
+          << " brute=" << bit->second.ToString();
+      Timestamp earlier = bit->second;
+      bool have_earlier = false;
+      if (!earlier.coords.empty() && earlier.coords.back() > 0) {
+        earlier.coords.back() -= 1;
+        have_earlier = true;
+      } else if (earlier.coords.empty() && earlier.epoch > 0) {
+        earlier.epoch -= 1;
+        have_earlier = true;
+      }
+      if (have_earlier) {
+        EXPECT_FALSE(ac.CouldResultIn(t, earlier))
+            << "matrix too permissive: s1=" << s1 << " s2=" << s2 << " t=" << t.ToString()
+            << " earlier=" << earlier.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryMatrixProperty, ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace naiad

@@ -1,0 +1,233 @@
+// Tests for path summaries (§2.3): the normal-form algebra, domination, antichains, and
+// the all-pairs minimal-summary matrix on a Figure-3-style graph.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/graph.h"
+#include "src/core/path_summary.h"
+
+namespace naiad {
+namespace {
+
+Timestamp T(uint64_t e, std::initializer_list<uint64_t> cs = {}) { return Timestamp(e, cs); }
+
+TEST(PathSummaryTest, ElementaryActions) {
+  EXPECT_EQ(PathSummary::Identity(1).Apply(T(3, {7})), T(3, {7}));
+  EXPECT_EQ(PathSummary::Ingress(1).Apply(T(3, {7})), T(3, {7, 0}));
+  EXPECT_EQ(PathSummary::Egress(2).Apply(T(3, {7, 9})), T(3, {7}));
+  EXPECT_EQ(PathSummary::Feedback(2).Apply(T(3, {7, 9})), T(3, {7, 10}));
+}
+
+TEST(PathSummaryTest, ComposeMatchesSequentialApply) {
+  // ingress then feedback then feedback then egress == identity + "entered and left".
+  PathSummary s = PathSummary::Compose(PathSummary::Ingress(1), PathSummary::Feedback(2));
+  s = PathSummary::Compose(s, PathSummary::Feedback(2));
+  EXPECT_EQ(s.Apply(T(5, {3})), T(5, {3, 2}));
+  s = PathSummary::Compose(s, PathSummary::Egress(2));
+  EXPECT_EQ(s.Apply(T(5, {3})), T(5, {3}));
+  EXPECT_EQ(s, PathSummary::Identity(1));
+}
+
+// Property: Compose(a, b).Apply(t) == b.Apply(a.Apply(t)) for random valid chains.
+class SummaryAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SummaryAlgebraTest, ComposeIsApplyComposition) {
+  Rng rng(GetParam());
+  // Random walk over elementary actions starting at depth 2.
+  uint32_t depth = 2;
+  Timestamp t = T(rng.Below(4), {rng.Below(4), rng.Below(4)});
+  PathSummary acc = PathSummary::Identity(depth);
+  Timestamp expected = t;
+  for (int step = 0; step < 12; ++step) {
+    PathSummary next;
+    switch (rng.Below(3)) {
+      case 0:
+        next = PathSummary::Ingress(depth);
+        ++depth;
+        break;
+      case 1:
+        if (depth == 0) {
+          continue;
+        }
+        next = PathSummary::Egress(depth);
+        --depth;
+        break;
+      default:
+        if (depth == 0) {
+          continue;
+        }
+        next = PathSummary::Feedback(depth);
+        break;
+    }
+    if (depth > kMaxLoopDepth - 1) {
+      break;
+    }
+    acc = PathSummary::Compose(acc, next);
+    expected = next.Apply(expected);
+    EXPECT_EQ(acc.Apply(t), expected) << "step " << step;
+  }
+}
+
+TEST_P(SummaryAlgebraTest, DominatesIsSoundOnSamples) {
+  Rng rng(GetParam() + 1000);
+  auto random_summary = [&](uint32_t src_depth, uint32_t dst_depth) {
+    PathSummary s;
+    s.keep = static_cast<uint32_t>(rng.Below(std::min(src_depth, dst_depth) + 1));
+    s.inc = s.keep > 0 ? rng.Below(3) : 0;
+    for (uint32_t i = s.keep; i < dst_depth; ++i) {
+      s.push.push_back(rng.Below(3));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    PathSummary a = random_summary(2, 2);
+    PathSummary b = random_summary(2, 2);
+    if (!PathSummary::Dominates(a, b)) {
+      continue;
+    }
+    for (int i = 0; i < 30; ++i) {
+      Timestamp t = T(rng.Below(3), {rng.Below(4), rng.Below(4)});
+      EXPECT_TRUE(Timestamp::PartialLeq(a.Apply(t), b.Apply(t)))
+          << a.ToString() << " vs " << b.ToString() << " at " << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryAlgebraTest, ::testing::Range<uint64_t>(0, 10));
+
+TEST(SummaryAntichainTest, KeepsOnlyMinimalElements) {
+  SummaryAntichain ac;
+  PathSummary ident = PathSummary::Identity(1);
+  PathSummary once = PathSummary::Feedback(1);
+  EXPECT_TRUE(ac.Insert(once));
+  EXPECT_TRUE(ac.Insert(ident));  // identity dominates the increment
+  EXPECT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0], ident);
+  EXPECT_FALSE(ac.Insert(once));  // dominated, rejected
+}
+
+// ---- Figure 3 style graph ----------------------------------------------------------
+//
+//  In -> A -> I(ngress) -> B -> C -> E(gress) -> Out
+//                          ^    |
+//                          +-F<-+   (feedback)
+struct Fig3 {
+  LogicalGraph g;
+  StageId in, a, i, b, c, e, out, f;
+
+  Fig3() {
+    auto stage = [&](const char* name, uint32_t depth, TimestampAction act) {
+      StageDef d;
+      d.name = name;
+      d.depth = depth;
+      d.action = act;
+      return g.AddStage(std::move(d));
+    };
+    in = stage("in", 0, TimestampAction::kNone);
+    a = stage("a", 0, TimestampAction::kNone);
+    i = stage("ingress", 0, TimestampAction::kIngress);
+    b = stage("b", 1, TimestampAction::kNone);
+    c = stage("c", 1, TimestampAction::kNone);
+    e = stage("egress", 1, TimestampAction::kEgress);
+    out = stage("out", 0, TimestampAction::kNone);
+    f = stage("feedback", 1, TimestampAction::kFeedback);
+    Conn(in, a);
+    Conn(a, i);
+    Conn(i, b);
+    Conn(b, c);
+    Conn(c, e);
+    Conn(e, out);
+    Conn(c, f);
+    Conn(f, b);
+    g.Freeze();
+  }
+
+  void Conn(StageId s, StageId d) {
+    ConnectorDef cd;
+    cd.src = s;
+    cd.dst = d;
+    g.AddConnector(std::move(cd));
+  }
+};
+
+TEST(SummaryMatrixTest, EntryIntoLoopPushesZero) {
+  Fig3 fig;
+  const auto& ac = fig.g.Summaries(Location::Stage(fig.in), Location::Stage(fig.b));
+  ASSERT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0].Apply(T(4)), T(4, {0}));
+}
+
+TEST(SummaryMatrixTest, WithinLoopIdentityDominatesCycle) {
+  Fig3 fig;
+  const auto& ac = fig.g.Summaries(Location::Stage(fig.b), Location::Stage(fig.b));
+  ASSERT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0], PathSummary::Identity(1));
+}
+
+TEST(SummaryMatrixTest, BackEdgeIncrementsIteration) {
+  Fig3 fig;
+  const auto& ac = fig.g.Summaries(Location::Stage(fig.c), Location::Stage(fig.b));
+  ASSERT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0].Apply(T(4, {2})), T(4, {3}));
+  EXPECT_TRUE(fig.g.CouldResultIn({T(0, {1}), Location::Stage(fig.c)},
+                                  {T(0, {2}), Location::Stage(fig.b)}));
+  EXPECT_FALSE(fig.g.CouldResultIn({T(0, {1}), Location::Stage(fig.c)},
+                                   {T(0, {1}), Location::Stage(fig.b)}));
+}
+
+TEST(SummaryMatrixTest, EgressDropsIterationCounter) {
+  Fig3 fig;
+  const auto& ac = fig.g.Summaries(Location::Stage(fig.b), Location::Stage(fig.out));
+  ASSERT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0].Apply(T(4, {9})), T(4));
+  // Any iteration of epoch 4 could still affect epoch 4 (and later) outputs.
+  EXPECT_TRUE(fig.g.CouldResultIn({T(4, {9}), Location::Stage(fig.b)},
+                                  {T(4), Location::Stage(fig.out)}));
+  EXPECT_FALSE(fig.g.CouldResultIn({T(4, {9}), Location::Stage(fig.b)},
+                                   {T(3), Location::Stage(fig.out)}));
+}
+
+TEST(SummaryMatrixTest, NoPathMeansNoInfluence) {
+  Fig3 fig;
+  EXPECT_TRUE(fig.g.Summaries(Location::Stage(fig.out), Location::Stage(fig.b)).Empty());
+  EXPECT_FALSE(fig.g.CouldResultIn({T(0), Location::Stage(fig.out)},
+                                   {T(9, {9}), Location::Stage(fig.b)}));
+}
+
+TEST(SummaryMatrixTest, ConnectorLocationsParticipate) {
+  Fig3 fig;
+  // The connector feeding B is one identity hop from B.
+  ConnectorId into_b = fig.g.stage(fig.b).inputs[0];
+  const auto& ac = fig.g.Summaries(Location::Connector(into_b), Location::Stage(fig.b));
+  ASSERT_EQ(ac.elements().size(), 1u);
+  EXPECT_EQ(ac.elements()[0], PathSummary::Identity(1));
+}
+
+TEST(SummaryMatrixDeathTest, CycleWithoutFeedbackRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto build = [] {
+    LogicalGraph g;
+    StageDef d1;
+    d1.depth = 1;
+    StageId x = g.AddStage(std::move(d1));
+    StageDef d2;
+    d2.depth = 1;
+    StageId y = g.AddStage(std::move(d2));
+    ConnectorDef c1;
+    c1.src = x;
+    c1.dst = y;
+    g.AddConnector(std::move(c1));
+    ConnectorDef c2;
+    c2.src = y;
+    c2.dst = x;
+    g.AddConnector(std::move(c2));
+    g.Freeze();
+  };
+  EXPECT_DEATH(build(), "cycle without feedback");
+}
+
+}  // namespace
+}  // namespace naiad

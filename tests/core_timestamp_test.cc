@@ -1,0 +1,113 @@
+// Tests for the timestamp lattice (§2.1): partial-order laws, the total-order refinement,
+// the system-vertex adjustments, and serialization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/timestamp.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+namespace {
+
+Timestamp T(uint64_t e, std::initializer_list<uint64_t> cs = {}) { return Timestamp(e, cs); }
+
+TEST(TimestampTest, DepthAndAdjustments) {
+  Timestamp t = T(3);
+  EXPECT_EQ(t.depth(), 0u);
+  Timestamp in = t.Pushed();  // ingress
+  EXPECT_EQ(in.depth(), 1u);
+  EXPECT_EQ(in.coords[0], 0u);
+  Timestamp fb = in.Incremented();  // feedback
+  EXPECT_EQ(fb.coords[0], 1u);
+  Timestamp out = fb.Popped();  // egress
+  EXPECT_EQ(out, t);
+}
+
+TEST(TimestampTest, PartialOrderEpochAndLex) {
+  EXPECT_TRUE(Timestamp::PartialLeq(T(0), T(1)));
+  EXPECT_FALSE(Timestamp::PartialLeq(T(1), T(0)));
+  EXPECT_TRUE(Timestamp::PartialLeq(T(0, {1, 2}), T(0, {1, 2})));
+  EXPECT_TRUE(Timestamp::PartialLeq(T(0, {1, 2}), T(0, {2, 0})));  // lex on counters
+  EXPECT_FALSE(Timestamp::PartialLeq(T(0, {2, 0}), T(0, {1, 9})));
+  // Product order: both components must agree.
+  EXPECT_FALSE(Timestamp::PartialLeq(T(1, {0}), T(0, {5})));
+  EXPECT_FALSE(Timestamp::PartialLeq(T(0, {5}), T(1, {0})));
+}
+
+TEST(TimestampTest, PartialOrderLaws) {
+  Rng rng(11);
+  std::vector<Timestamp> ts;
+  for (int i = 0; i < 40; ++i) {
+    ts.push_back(T(rng.Below(3), {rng.Below(3), rng.Below(3)}));
+  }
+  for (const auto& a : ts) {
+    EXPECT_TRUE(Timestamp::PartialLeq(a, a));  // reflexive
+    for (const auto& b : ts) {
+      if (Timestamp::PartialLeq(a, b) && Timestamp::PartialLeq(b, a)) {
+        EXPECT_EQ(a, b);  // antisymmetric
+      }
+      for (const auto& c : ts) {
+        if (Timestamp::PartialLeq(a, b) && Timestamp::PartialLeq(b, c)) {
+          EXPECT_TRUE(Timestamp::PartialLeq(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST(TimestampTest, TotalOrderRefinesPartialOrder) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Timestamp a = T(rng.Below(3), {rng.Below(4), rng.Below(4)});
+    Timestamp b = T(rng.Below(3), {rng.Below(4), rng.Below(4)});
+    if (Timestamp::PartialLeq(a, b)) {
+      EXPECT_LE(a, b);
+    }
+  }
+}
+
+TEST(TimestampTest, TruncationPreservesLexOrder) {
+  // The path-summary domination argument relies on: a <=lex b implies prefix(a) <=lex
+  // prefix(b).
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Timestamp a = T(0, {rng.Below(3), rng.Below(3), rng.Below(3)});
+    Timestamp b = T(0, {rng.Below(3), rng.Below(3), rng.Below(3)});
+    if (Timestamp::PartialLeq(a, b)) {
+      Timestamp ap = a.Popped();
+      Timestamp bp = b.Popped();
+      EXPECT_TRUE(Timestamp::PartialLeq(ap, bp));
+    }
+  }
+}
+
+TEST(TimestampTest, SerializationRoundTrip) {
+  for (const Timestamp& t :
+       {T(0), T(42), T(7, {0}), T(7, {1, 2, 3}), T(~0ULL, {~0ULL, 0, 5})}) {
+    std::vector<uint8_t> bytes = EncodeToBytes(t);
+    Timestamp out;
+    ASSERT_TRUE(DecodeFromBytes(std::span<const uint8_t>(bytes), out));
+    EXPECT_EQ(out, t);
+  }
+}
+
+TEST(TimestampTest, DecodeRejectsExcessDepth) {
+  ByteWriter w;
+  w.WriteU64(0);
+  w.WriteU8(kMaxLoopDepth + 1);
+  Timestamp out;
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(out.Decode(r));
+}
+
+TEST(TimestampTest, HashConsistentWithEquality) {
+  EXPECT_EQ(T(1, {2, 3}).Hash(), T(1, {2, 3}).Hash());
+  EXPECT_NE(T(1, {2, 3}).Hash(), T(1, {3, 2}).Hash());
+  EXPECT_NE(T(1).Hash(), T(1, {0}).Hash());  // depth matters
+}
+
+}  // namespace
+}  // namespace naiad

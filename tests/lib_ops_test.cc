@@ -1,0 +1,360 @@
+// Tests for the operator library: map ops, keyed ops, joins, and iteration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/io.h"
+#include "src/lib/operators.h"
+
+namespace naiad {
+namespace {
+
+// Collects per-epoch output multisets behind a mutex.
+template <typename T>
+struct Collector {
+  std::mutex mu;
+  std::map<uint64_t, std::multiset<T>> epochs;
+
+  typename SubscribeVertex<T>::Callback callback() {
+    return [this](uint64_t e, std::vector<T>& recs) {
+      std::lock_guard<std::mutex> lock(mu);
+      epochs[e].insert(recs.begin(), recs.end());
+    };
+  }
+  std::multiset<T> at(uint64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    return epochs[e];
+  }
+};
+
+TEST(MapOpsTest, SelectWhereSelectMany) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  auto odd_triples = SelectMany(
+      Where(Select(in, [](const uint64_t& x) { return x * 3; }),
+            [](const uint64_t& x) { return x % 2 == 1; }),
+      [](const uint64_t& x) { return std::vector<uint64_t>{x, x}; });
+  Collector<uint64_t> out;
+  Subscribe<uint64_t>(odd_triples, out.callback());
+  ctl.Start();
+  handle->OnNext({1, 2, 3, 4});  // *3 -> 3,6,9,12; odd -> 3,9; duplicated
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<uint64_t>{3, 3, 9, 9}));
+}
+
+TEST(MapOpsTest, ConcatMergesStreams) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in1, h1] = NewInput<uint64_t>(b);
+  auto [in2, h2] = NewInput<uint64_t>(b);
+  Collector<uint64_t> out;
+  Subscribe<uint64_t>(Concat<uint64_t>(in1, in2), out.callback());
+  ctl.Start();
+  h1->OnNext({1, 2});
+  h2->OnNext({10});
+  h1->OnCompleted();
+  h2->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<uint64_t>{1, 2, 10}));
+}
+
+TEST(KeyedOpsTest, CountPerEpoch) {
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<std::string>(b);
+  auto counts = Count(in, [](const std::string& w) { return w; });
+  Collector<std::pair<std::string, uint64_t>> out;
+  Subscribe<std::pair<std::string, uint64_t>>(counts, out.callback());
+  ctl.Start();
+  handle->OnNext({"a", "b", "a"});
+  handle->OnNext({"b"});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<std::pair<std::string, uint64_t>>{{"a", 2}, {"b", 1}}));
+  EXPECT_EQ(out.at(1), (std::multiset<std::pair<std::string, uint64_t>>{{"b", 1}}));
+}
+
+TEST(KeyedOpsTest, GroupByReduces) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<std::pair<uint64_t, uint64_t>>(b);
+  auto sums = GroupBy(
+      in, [](const std::pair<uint64_t, uint64_t>& kv) { return kv.first; },
+      [](const uint64_t& k, std::vector<std::pair<uint64_t, uint64_t>>& vals) {
+        uint64_t total = 0;
+        for (auto& [key, v] : vals) {
+          total += v;
+        }
+        return std::vector<std::pair<uint64_t, uint64_t>>{{k, total}};
+      });
+  Collector<std::pair<uint64_t, uint64_t>> out;
+  Subscribe<std::pair<uint64_t, uint64_t>>(sums, out.callback());
+  ctl.Start();
+  handle->OnNext({{1, 10}, {2, 5}, {1, 7}});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<std::pair<uint64_t, uint64_t>>{{1, 17}, {2, 5}}));
+}
+
+TEST(KeyedOpsTest, DistinctEmitsFirstSightPerEpoch) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  Collector<uint64_t> out;
+  Subscribe<uint64_t>(Distinct(in), out.callback());
+  ctl.Start();
+  handle->OnNext({7, 7, 8, 7});
+  handle->OnNext({7});  // fresh epoch: seen again
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<uint64_t>{7, 8}));
+  EXPECT_EQ(out.at(1), (std::multiset<uint64_t>{7}));
+}
+
+TEST(KeyedOpsTest, MonotonicAggregateEmitsImprovementsOnly) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<std::pair<uint64_t, uint64_t>>(b);
+  auto mins = MonotonicAggregate<uint64_t, uint64_t>(
+      in,
+      [](uint64_t& cur, const uint64_t& cand) {
+        if (cand < cur) {
+          cur = cand;
+          return true;
+        }
+        return false;
+      },
+      StateScope::kGlobal);
+  Collector<std::pair<uint64_t, uint64_t>> out;
+  Subscribe<std::pair<uint64_t, uint64_t>>(mins, out.callback());
+  ctl.Start();
+  handle->OnNext({{1, 5}});
+  handle->OnNext({{1, 9}});  // not an improvement
+  handle->OnNext({{1, 3}});  // improvement
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<std::pair<uint64_t, uint64_t>>{{1, 5}}));
+  EXPECT_EQ(out.at(1).size(), 0u);
+  EXPECT_EQ(out.at(2), (std::multiset<std::pair<uint64_t, uint64_t>>{{1, 3}}));
+}
+
+using KV = std::pair<uint64_t, std::string>;
+
+TEST(JoinTest, PerEpochJoinMatchesWithinEpoch) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [a, ha] = NewInput<KV>(b);
+  auto [c, hc] = NewInput<KV>(b);
+  auto joined = Join(
+      a, c, [](const KV& x) { return x.first; }, [](const KV& x) { return x.first; },
+      [](const KV& x, const KV& y) { return x.second + "|" + y.second; });
+  Collector<std::string> out;
+  Subscribe<std::string>(joined, out.callback());
+  ctl.Start();
+  ha->OnNext({{1, "a1"}, {2, "a2"}});
+  hc->OnNext({{1, "c1"}, {3, "c3"}});
+  ha->OnNext({{3, "a3"}});  // epoch 1: no c-side key 3 in epoch 1
+  hc->OnNext({});
+  ha->OnCompleted();
+  hc->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<std::string>{"a1|c1"}));
+  EXPECT_EQ(out.at(1).size(), 0u);
+}
+
+TEST(JoinTest, AccumulatingJoinMatchesAcrossEpochs) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [a, ha] = NewInput<KV>(b);
+  auto [c, hc] = NewInput<KV>(b);
+  auto joined = Join(
+      a, c, [](const KV& x) { return x.first; }, [](const KV& x) { return x.first; },
+      [](const KV& x, const KV& y) { return x.second + "|" + y.second; },
+      JoinMode::kAccumulating);
+  Collector<std::string> out;
+  Subscribe<std::string>(joined, out.callback());
+  ctl.Start();
+  ha->OnNext({{1, "a1"}});
+  hc->OnNext({});
+  ha->OnNext({});
+  hc->OnNext({{1, "c1"}});  // matches the epoch-0 a-side record
+  ha->OnCompleted();
+  hc->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(1), (std::multiset<std::string>{"a1|c1"}));
+}
+
+TEST(KeyedOpsTest, DistinctCountLibraryOperator) {
+  // The Figure 4 vertex exposed as a library operator: eager distincts + exact counts.
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  DistinctCountStreams<uint64_t> dc = DistinctCount(in);
+  Collector<uint64_t> distinct;
+  Collector<std::pair<uint64_t, uint64_t>> counts;
+  Subscribe<uint64_t>(dc.distinct, distinct.callback());
+  Subscribe<std::pair<uint64_t, uint64_t>>(dc.counts, counts.callback());
+  ctl.Start();
+  handle->OnNext({4, 4, 4, 9});
+  handle->OnNext({9});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(distinct.at(0), (std::multiset<uint64_t>{4, 9}));
+  EXPECT_EQ(counts.at(0),
+            (std::multiset<std::pair<uint64_t, uint64_t>>{{4, 3}, {9, 1}}));
+  EXPECT_EQ(counts.at(1), (std::multiset<std::pair<uint64_t, uint64_t>>{{9, 1}}));
+}
+
+TEST(MapOpsTest, WhereTimeFiltersByTimestamp) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  Collector<uint64_t> out;
+  Subscribe<uint64_t>(WhereTime(Stream<uint64_t>(in),
+                                [](const Timestamp& t) { return t.epoch % 2 == 0; }),
+                      out.callback());
+  ctl.Start();
+  handle->OnNext({1});
+  handle->OnNext({2});
+  handle->OnNext({3});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(out.at(0), (std::multiset<uint64_t>{1}));
+  EXPECT_EQ(out.at(1).size(), 0u);
+  EXPECT_EQ(out.at(2), (std::multiset<uint64_t>{3}));
+}
+
+TEST(RuntimeEdgeTest, DeepPipelineAndFanOut) {
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  Stream<uint64_t> s = in;
+  for (int i = 0; i < 20; ++i) {  // 20 chained stages
+    s = Select(s, [](const uint64_t& x) { return x + 1; });
+  }
+  // Fan-out: three independent subscribers each get the full stream.
+  std::atomic<uint64_t> sums[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    ForEach<uint64_t>(s, [&, i](const Timestamp&, std::vector<uint64_t>& recs) {
+      for (uint64_t v : recs) {
+        sums[i].fetch_add(v);
+      }
+    });
+  }
+  ctl.Start();
+  handle->OnNext({0, 10});
+  handle->OnCompleted();
+  ctl.Join();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sums[i].load(), 20u + 30u) << "consumer " << i;
+  }
+}
+
+TEST(RuntimeEdgeTest, SubscribeCallbacksArriveInEpochOrder) {
+  Controller ctl(Config{.workers_per_process = 4});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::mutex mu;
+  std::vector<uint64_t> epoch_order;
+  Subscribe<uint64_t>(Stream<uint64_t>(in), [&](uint64_t e, std::vector<uint64_t>&) {
+    std::lock_guard<std::mutex> lock(mu);
+    epoch_order.push_back(e);
+  });
+  ctl.Start();
+  for (uint64_t e = 0; e < 10; ++e) {
+    handle->OnNext({e});
+  }
+  handle->OnCompleted();
+  ctl.Join();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(epoch_order.size(), 10u);
+  for (uint64_t e = 0; e < 10; ++e) {
+    EXPECT_EQ(epoch_order[e], e);  // completeness notifications fire in epoch order
+  }
+}
+
+TEST(RuntimeEdgeTest, ImmediateCloseDrainsCleanly) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::atomic<uint64_t> n{0};
+  ForEach<uint64_t>(Stream<uint64_t>(in), [&](const Timestamp&, std::vector<uint64_t>& r) {
+    n.fetch_add(r.size());
+  });
+  ctl.Start();
+  handle->OnCompleted();  // no epochs at all
+  ctl.Join();
+  EXPECT_EQ(n.load(), 0u);
+}
+
+TEST(RuntimeEdgeDeathTest, DepthMismatchRejectedAtConstruction) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto build_invalid = [] {
+    Controller ctl(Config{.workers_per_process = 1});
+    GraphBuilder b(ctl);
+    auto [in, handle] = NewInput<uint64_t>(b);
+    LoopContext loop(b, 0);
+    Stream<uint64_t> inner = loop.Ingress<uint64_t>(in);
+    // Illegal: connecting a depth-1 stream to a depth-0 stage.
+    StageId sink = b.NewStage<ForEachVertex<uint64_t>>(
+        StageOptions{.name = "bad", .depth = 0}, [](uint32_t) {
+          return std::make_unique<ForEachVertex<uint64_t>>(
+              [](const Timestamp&, std::vector<uint64_t>&) {});
+        });
+    using Sink = ForEachVertex<uint64_t>;
+    b.Connect<Sink, uint64_t>(inner, sink);
+  };
+  EXPECT_DEATH(build_invalid(), "output_depth");
+}
+
+TEST(IterateTest, CountdownViaIterate) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  Stream<uint64_t> result =
+      Iterate<uint64_t>(in, 0, [](const uint64_t& x) { return x; },
+                        [](LoopContext&, Stream<uint64_t> merged) {
+                          return Select(Where(merged, [](const uint64_t& x) { return x > 0; }),
+                                        [](const uint64_t& x) { return x - 1; });
+                        });
+  Collector<uint64_t> out;
+  Subscribe<uint64_t>(result, out.callback());
+  ctl.Start();
+  handle->OnNext({3});
+  handle->OnCompleted();
+  ctl.Join();
+  // 3 -> 2 -> 1 -> 0; every circulated value leaves through the egress.
+  EXPECT_EQ(out.at(0), (std::multiset<uint64_t>{0, 1, 2}));
+}
+
+TEST(IterateTest, BoundedIterationStopsAtLimit) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  // x -> x+1 forever; only the feedback limit terminates the loop.
+  Stream<uint64_t> result =
+      Iterate<uint64_t>(in, 5, [](const uint64_t& x) { return x; },
+                        [](LoopContext&, Stream<uint64_t> merged) {
+                          return Select(merged, [](const uint64_t& x) { return x + 1; });
+                        });
+  std::atomic<uint64_t> n{0};
+  ForEach<uint64_t>(result, [&](const Timestamp&, std::vector<uint64_t>& recs) {
+    n.fetch_add(recs.size());
+  });
+  ctl.Start();
+  handle->OnNext({100});
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(n.load(), 5u);  // iterations 0..4 each produce one record
+}
+
+}  // namespace
+}  // namespace naiad

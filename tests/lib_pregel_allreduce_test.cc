@@ -1,0 +1,262 @@
+// Tests for the Pregel and AllReduce libraries and the logistic-regression pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/algo/logreg.h"
+#include "src/core/io.h"
+#include "src/gen/graphs.h"
+#include "src/lib/allreduce.h"
+#include "src/lib/pregel.h"
+
+namespace naiad {
+namespace {
+
+std::map<uint64_t, double> RefPageRank(const std::vector<Edge>& edges, uint64_t iters) {
+  std::map<uint64_t, double> rank;
+  std::map<uint64_t, uint64_t> deg;
+  for (const Edge& e : edges) {
+    rank.try_emplace(e.first, 1.0);
+    rank.try_emplace(e.second, 1.0);
+    ++deg[e.first];
+  }
+  for (uint64_t i = 1; i < iters; ++i) {
+    std::map<uint64_t, double> next;
+    for (const auto& [n, r] : rank) {
+      next[n] = 0.15;
+    }
+    for (const Edge& e : edges) {
+      next[e.second] += 0.85 * rank[e.first] / static_cast<double>(deg[e.first]);
+    }
+    rank = std::move(next);
+  }
+  return rank;
+}
+
+TEST(PregelTest, PageRankMatchesReference) {
+  std::vector<Edge> edges = RandomGraph(30, 60, 77);
+  constexpr uint64_t kSupersteps = 6;
+  std::mutex mu;
+  std::map<uint64_t, double> final_state;  // captured at the last superstep
+
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<Edge>(b);
+  auto result = Pregel<double, double>(
+      in, 1.0, kSupersteps,
+      [&](PregelNodeContext<double, double>& ctx, const std::vector<double>& inbox) {
+        if (ctx.superstep() > 0) {
+          double sum = 0;
+          for (double m : inbox) {
+            sum += m;
+          }
+          ctx.state() = 0.15 + 0.85 * sum;
+        }
+        if (ctx.superstep() + 1 == kSupersteps) {
+          std::lock_guard<std::mutex> lock(mu);
+          final_state[ctx.node_id()] = ctx.state();
+        } else if (!ctx.out_edges().empty()) {
+          ctx.SendToAllNeighbors(ctx.state() / static_cast<double>(ctx.out_edges().size()));
+        }
+      });
+  Subscribe<std::pair<uint64_t, double>>(
+      result, [](uint64_t, std::vector<std::pair<uint64_t, double>>&) {});
+  ctl.Start();
+  handle->OnNext(edges);
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::map<uint64_t, double> want = RefPageRank(edges, kSupersteps);
+  std::lock_guard<std::mutex> lock(mu);
+  // Pure sinks receive messages, so every node runs the last superstep.
+  ASSERT_EQ(final_state.size(), want.size());
+  for (const auto& [n, r] : want) {
+    EXPECT_NEAR(final_state[n], r, 1e-9) << "node " << n;
+  }
+}
+
+// Max-propagation with vote-to-halt: converges and stops well before the superstep bound.
+TEST(PregelTest, MaxPropagationHaltsEarly) {
+  std::vector<Edge> edges = Symmetrize(RandomGraph(40, 60, 5));
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> final_state;
+  std::atomic<uint64_t> max_superstep_seen{0};
+
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<Edge>(b);
+  auto result = Pregel<uint64_t, uint64_t>(
+      in, 0, /*max_supersteps=*/1000,
+      [&](PregelNodeContext<uint64_t, uint64_t>& ctx, const std::vector<uint64_t>& inbox) {
+        max_superstep_seen.store(
+            std::max(max_superstep_seen.load(), ctx.superstep()));
+        uint64_t best = ctx.superstep() == 0 ? ctx.node_id() : ctx.state();
+        for (uint64_t m : inbox) {
+          best = std::max(best, m);
+        }
+        if (best != ctx.state() || ctx.superstep() == 0) {
+          ctx.state() = best;
+          ctx.SendToAllNeighbors(best);
+        }
+        ctx.VoteToHalt();
+      });
+  Subscribe<std::pair<uint64_t, uint64_t>>(
+      result, [&](uint64_t, std::vector<std::pair<uint64_t, uint64_t>>& recs) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [n, s] : recs) {
+          final_state[n] = std::max(final_state[n], s);
+        }
+      });
+  ctl.Start();
+  handle->OnNext(edges);
+  handle->OnCompleted();
+  ctl.Join();
+
+  // Reference: max node id per weakly connected component.
+  std::map<uint64_t, uint64_t> parent;
+  std::function<uint64_t(uint64_t)> find = [&](uint64_t x) {
+    parent.try_emplace(x, x);
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    parent[find(e.first)] = find(e.second);
+  }
+  std::map<uint64_t, uint64_t> comp_max;
+  for (const auto& [n, p] : parent) {
+    comp_max[find(n)] = std::max(comp_max[find(n)], n);
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [n, p] : parent) {
+    EXPECT_EQ(final_state[n], comp_max[find(n)]) << "node " << n;
+  }
+  EXPECT_LT(max_superstep_seen.load(), 100u);  // halted long before the bound
+}
+
+class AllReduceTest : public ::testing::TestWithParam<bool> {};  // param: use tree
+
+TEST_P(AllReduceTest, EveryParticipantReceivesTheGlobalSum) {
+  const bool tree = GetParam();
+  constexpr uint32_t kParticipants = 5;
+  constexpr size_t kDims = 12;
+  std::mutex mu;
+  std::map<uint32_t, std::vector<double>> received;  // target -> assembled vector
+
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<VecPiece>(b);
+  Stream<VecPiece> reduced =
+      tree ? TreeAllReduce(in, kParticipants) : ChunkedAllReduce(in, kParticipants);
+  Subscribe<VecPiece>(reduced, [&](uint64_t, std::vector<VecPiece>& recs) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (VecPiece& p : recs) {
+      auto& v = received[p.target];
+      if (tree) {
+        v = p.values;  // tree pieces carry the whole vector
+      } else {
+        const size_t per = (kDims + kParticipants - 1) / kParticipants;
+        if (v.size() < kDims) {
+          v.resize(kDims, 0.0);
+        }
+        for (size_t i = 0; i < p.values.size(); ++i) {
+          v[p.slot * per + i] = p.values[i];
+        }
+      }
+    }
+  });
+  ctl.Start();
+  std::vector<VecPiece> pieces;
+  std::vector<double> want(kDims, 0.0);
+  for (uint32_t part = 0; part < kParticipants; ++part) {
+    std::vector<double> local(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      local[d] = static_cast<double>(part * 100 + d);
+      want[d] += local[d];
+    }
+    if (tree) {
+      pieces.push_back(VecPiece{part, 0, local});
+    } else {
+      const size_t per = (kDims + kParticipants - 1) / kParticipants;
+      for (uint32_t c = 0; c * per < kDims; ++c) {
+        const size_t lo = c * per;
+        const size_t hi = std::min(kDims, lo + per);
+        pieces.push_back(
+            VecPiece{c, 0, std::vector<double>(local.begin() + lo, local.begin() + hi)});
+      }
+    }
+  }
+  handle->OnNext(std::move(pieces));
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), kParticipants);
+  for (uint32_t part = 0; part < kParticipants; ++part) {
+    ASSERT_EQ(received[part].size(), kDims) << "participant " << part;
+    for (size_t d = 0; d < kDims; ++d) {
+      EXPECT_NEAR(received[part][d], want[d], 1e-9) << "participant " << part << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AllReduceTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Tree" : "Chunked";
+                         });
+
+class LogRegTest : public ::testing::TestWithParam<AllReduceKind> {};
+
+TEST_P(LogRegTest, GradientNormDecreases) {
+  constexpr uint32_t kParticipants = 4;
+  constexpr uint32_t kDims = 8;
+  std::mutex mu;
+  std::map<uint64_t, double> grad_norm;  // epoch -> ||global gradient||
+
+  Controller ctl(Config{.workers_per_process = 4});
+  GraphBuilder b(ctl);
+  auto [go, handle] = NewInput<uint64_t>(b);
+  Stream<VecPiece> reduced =
+      BuildLogReg(go, kParticipants, kDims, /*examples=*/200, GetParam(), /*lr=*/0.05);
+  Probe probe = ForEach<VecPiece>(reduced, [&](const Timestamp& t, std::vector<VecPiece>& recs) {
+    std::lock_guard<std::mutex> lock(mu);
+    double& norm = grad_norm[t.epoch];
+    for (const VecPiece& p : recs) {
+      if (p.target != 0) {
+        continue;  // count each piece once, not once per participant
+      }
+      for (double v : p.values) {
+        norm += v * v;
+      }
+    }
+  });
+  ctl.Start();
+  constexpr uint64_t kIters = 12;
+  for (uint64_t e = 0; e < kIters; ++e) {
+    std::vector<uint64_t> tokens(kParticipants, e);
+    handle->OnNext(std::move(tokens));
+    probe.WaitPassed(e);  // BSP driver: next iteration starts after the gradient lands
+  }
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(grad_norm.size(), kIters);
+  EXPECT_LT(grad_norm[kIters - 1], grad_norm[0] * 0.5)
+      << "gradient descent failed to make progress";
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LogRegTest,
+                         ::testing::Values(AllReduceKind::kChunked, AllReduceKind::kTree),
+                         [](const ::testing::TestParamInfo<AllReduceKind>& info) {
+                           return info.param == AllReduceKind::kChunked ? "Chunked" : "Tree";
+                         });
+
+}  // namespace
+}  // namespace naiad

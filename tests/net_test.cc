@@ -1,0 +1,296 @@
+// Tests for the TCP transport, the distributed progress protocol, and multi-process
+// (loopback cluster) execution equivalence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/core/io.h"
+#include "src/core/loop.h"
+#include "src/core/stage.h"
+#include "src/net/cluster.h"
+#include "src/net/socket.h"
+#include "src/net/transport.h"
+
+namespace naiad {
+namespace {
+
+TEST(SocketTest, RoundTripBytes) {
+  Listener l;
+  uint16_t port = l.Open();
+  ASSERT_NE(port, 0);
+  Socket client = Socket::ConnectLocal(port);
+  ASSERT_TRUE(client.valid());
+  Socket server = l.Accept();
+  ASSERT_TRUE(server.valid());
+
+  std::vector<uint8_t> msg = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(client.WriteAll(msg));
+  std::vector<uint8_t> got(5);
+  ASSERT_TRUE(server.ReadAll(got));
+  EXPECT_EQ(got, msg);
+
+  client.ShutdownBoth();
+  std::vector<uint8_t> more(1);
+  EXPECT_FALSE(server.ReadAll(more));  // EOF surfaces as false, not a crash
+}
+
+TEST(TransportTest, MeshDeliversFramesFifoPerPair) {
+  constexpr uint32_t kProcs = 3;
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  std::vector<uint16_t> ports;
+  for (uint32_t p = 0; p < kProcs; ++p) {
+    transports.push_back(std::make_unique<TcpTransport>(p, kProcs));
+    ports.push_back(transports.back()->Listen());
+  }
+  std::mutex mu;
+  std::map<uint32_t, std::vector<std::pair<uint32_t, uint32_t>>> received;  // dst -> (src, seq)
+  std::vector<std::thread> starters;
+  for (uint32_t p = 0; p < kProcs; ++p) {
+    starters.emplace_back([&, p] {
+      TcpTransport::Callbacks cb;
+      cb.on_data = [&, p](uint32_t src, std::span<const uint8_t> payload) {
+        ByteReader r(payload);
+        uint32_t seq = r.ReadU32();
+        std::lock_guard<std::mutex> lock(mu);
+        received[p].emplace_back(src, seq);
+      };
+      cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+      transports[p]->Start(ports, std::move(cb));
+    });
+  }
+  for (auto& t : starters) {
+    t.join();
+  }
+
+  constexpr uint32_t kPer = 200;
+  for (uint32_t src = 0; src < kProcs; ++src) {
+    for (uint32_t seq = 0; seq < kPer; ++seq) {
+      for (uint32_t dst = 0; dst < kProcs; ++dst) {
+        if (dst == src) {
+          continue;
+        }
+        ByteWriter w;
+        w.WriteU32(seq);
+        transports[src]->Send(dst, FrameType::kData, std::move(w.buffer()));
+      }
+    }
+  }
+  // Wait for all deliveries.
+  const size_t expect = (kProcs - 1) * kPer;
+  for (int spin = 0; spin < 2000; ++spin) {
+    std::lock_guard<std::mutex> lock(mu);
+    size_t total = 0;
+    for (auto& [dst, v] : received) {
+      total += v.size();
+    }
+    if (total == expect * kProcs) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  for (uint32_t dst = 0; dst < kProcs; ++dst) {
+    ASSERT_EQ(received[dst].size(), expect);
+    std::map<uint32_t, uint32_t> next;  // per-src FIFO check
+    for (auto [src, seq] : received[dst]) {
+      EXPECT_EQ(seq, next[src]++);
+    }
+  }
+  for (auto& t : transports) {
+    t->Shutdown();
+  }
+}
+
+// A keyed counting vertex used for the distributed equivalence tests.
+class CountPerKeyVertex final : public UnaryVertex<uint64_t, std::pair<uint64_t, uint64_t>> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    auto [it, fresh] = counts_.try_emplace(t);
+    if (fresh) {
+      NotifyAt(t);
+    }
+    for (uint64_t k : batch) {
+      ++it->second[k];
+    }
+  }
+  void OnNotify(const Timestamp& t) override {
+    for (auto [k, n] : counts_[t]) {
+      output().Send(t, {k, n});
+    }
+    counts_.erase(t);
+  }
+
+ private:
+  std::map<Timestamp, std::map<uint64_t, uint64_t>> counts_;
+};
+
+std::map<uint64_t, uint64_t> RunDistributedCount(uint32_t processes, uint32_t workers,
+                                                 ProgressStrategy strategy,
+                                                 ClusterStats* stats_out = nullptr) {
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> result;
+  ClusterOptions opts;
+  opts.processes = processes;
+  opts.workers_per_process = workers;
+  opts.strategy = strategy;
+  ClusterStats stats = Cluster::Run(opts, [&](Controller& ctl) {
+    GraphBuilder b(ctl);
+    auto [in, handle] = NewInput<uint64_t>(b);
+    StageId count = b.NewStage<CountPerKeyVertex>(
+        StageOptions{.name = "count"},
+        [](uint32_t) { return std::make_unique<CountPerKeyVertex>(); });
+    b.Connect<CountPerKeyVertex, uint64_t>(in, count, 0,
+                                           [](const uint64_t& k) { return k; });
+    Subscribe<std::pair<uint64_t, uint64_t>>(
+        b.OutputOf<std::pair<uint64_t, uint64_t>>(count),
+        [&](uint64_t, std::vector<std::pair<uint64_t, uint64_t>>& recs) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto [k, n] : recs) {
+            result[k] += n;
+          }
+        });
+    ctl.Start();
+    // SPMD: each process contributes its share of the records.
+    const uint32_t pid = ctl.config().process_id;
+    for (uint64_t epoch = 0; epoch < 3; ++epoch) {
+      std::vector<uint64_t> data;
+      for (uint64_t i = 0; i < 500; ++i) {
+        data.push_back((pid * 977 + i) % 37);
+      }
+      handle->OnNext(std::move(data));
+    }
+    handle->OnCompleted();
+    ctl.Join();
+  });
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  return result;
+}
+
+TEST(ClusterTest, DistributedCountMatchesSingleProcess) {
+  std::map<uint64_t, uint64_t> single =
+      RunDistributedCount(1, 4, ProgressStrategy::kDirect);
+  std::map<uint64_t, uint64_t> multi =
+      RunDistributedCount(3, 2, ProgressStrategy::kDirect);
+  // Same total multiset of keys, scaled by process count (each process injects its share).
+  uint64_t single_total = 0;
+  uint64_t multi_total = 0;
+  for (auto [k, n] : single) {
+    single_total += n;
+  }
+  for (auto [k, n] : multi) {
+    multi_total += n;
+  }
+  EXPECT_EQ(single_total, 3 * 500u);
+  EXPECT_EQ(multi_total, 3 * 3 * 500u);
+}
+
+class StrategyTest : public ::testing::TestWithParam<ProgressStrategy> {};
+
+TEST_P(StrategyTest, AllStrategiesProduceIdenticalResults) {
+  ClusterStats stats;
+  std::map<uint64_t, uint64_t> got = RunDistributedCount(2, 2, GetParam(), &stats);
+  std::map<uint64_t, uint64_t> want;
+  for (uint32_t pid = 0; pid < 2; ++pid) {
+    for (uint64_t epoch = 0; epoch < 3; ++epoch) {
+      for (uint64_t i = 0; i < 500; ++i) {
+        ++want[(pid * 977 + i) % 37];
+      }
+    }
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_GT(stats.progress_frames, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(ProgressStrategy::kDirect,
+                                           ProgressStrategy::kLocalAcc,
+                                           ProgressStrategy::kGlobalAcc,
+                                           ProgressStrategy::kLocalGlobalAcc),
+                         [](const ::testing::TestParamInfo<ProgressStrategy>& info) {
+                           switch (info.param) {
+                             case ProgressStrategy::kDirect:
+                               return "Direct";
+                             case ProgressStrategy::kLocalAcc:
+                               return "LocalAcc";
+                             case ProgressStrategy::kGlobalAcc:
+                               return "GlobalAcc";
+                             case ProgressStrategy::kLocalGlobalAcc:
+                               return "LocalGlobalAcc";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ClusterTest, AccumulationReducesProtocolTraffic) {
+  ClusterStats direct;
+  ClusterStats accumulated;
+  RunDistributedCount(2, 2, ProgressStrategy::kDirect, &direct);
+  RunDistributedCount(2, 2, ProgressStrategy::kLocalGlobalAcc, &accumulated);
+  EXPECT_GT(direct.progress_bytes, 0u);
+  // Accumulation should never send more than direct broadcast for the same computation.
+  EXPECT_LE(accumulated.progress_bytes, direct.progress_bytes);
+}
+
+// Distributed loop: the countdown fixed-point from the runtime tests, across processes.
+class LoopCountdownVertex final : public Unary2Vertex<uint64_t, uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      if (x > 0) {
+        output1().Send(t, x - 1);
+      } else {
+        output2().Send(t, t.coords.back());
+      }
+    }
+  }
+};
+
+TEST(ClusterTest, DistributedLoopReachesFixedPoint) {
+  std::mutex mu;
+  std::multiset<uint64_t> exits;
+  ClusterOptions opts;
+  opts.processes = 2;
+  opts.workers_per_process = 2;
+  Cluster::Run(opts, [&](Controller& ctl) {
+    GraphBuilder b(ctl);
+    auto [in, handle] = NewInput<uint64_t>(b);
+    LoopContext loop(b, 0);
+    FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+    Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+    StageId body = b.NewStage<LoopCountdownVertex>(
+        StageOptions{.name = "countdown", .depth = 1},
+        [](uint32_t) { return std::make_unique<LoopCountdownVertex>(); });
+    // Exchange inside the loop so iterations hop between processes.
+    b.Connect<LoopCountdownVertex, uint64_t>(entered, body, 0,
+                                             [](const uint64_t& x) { return x; });
+    b.Connect<LoopCountdownVertex, uint64_t>(fb.stream(), body, 0,
+                                             [](const uint64_t& x) { return x; });
+    fb.ConnectLoop(b.OutputOf<uint64_t>(body, 0));
+    Stream<uint64_t> done = loop.Egress<uint64_t>(b.OutputOf<uint64_t>(body, 1));
+    Subscribe<uint64_t>(done, [&](uint64_t, std::vector<uint64_t>& recs) {
+      std::lock_guard<std::mutex> lock(mu);
+      exits.insert(recs.begin(), recs.end());
+    });
+    ctl.Start();
+    if (ctl.config().process_id == 0) {
+      handle->OnNext({4, 9});
+    } else {
+      handle->OnNext({6});
+    }
+    handle->OnCompleted();
+    ctl.Join();
+  });
+  EXPECT_EQ(exits, (std::multiset<uint64_t>{4, 6, 9}));
+}
+
+}  // namespace
+}  // namespace naiad

@@ -1,0 +1,144 @@
+// Unit and property tests for the serialization layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ser/bytes.h"
+#include "src/ser/codec.h"
+
+namespace naiad {
+namespace {
+
+template <typename T>
+void ExpectRoundTrip(const T& value) {
+  std::vector<uint8_t> bytes = EncodeToBytes(value);
+  T out{};
+  ASSERT_TRUE(DecodeFromBytes(std::span<const uint8_t>(bytes), out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.WriteU32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(BytesTest, PatchU32) {
+  ByteWriter w;
+  w.WriteU32(0);
+  w.WriteU8(0xee);
+  w.PatchU32(0, 0xdeadbeef);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU8(), 0xee);
+}
+
+TEST(BytesTest, TruncatedReadSetsErrorNotUb) {
+  std::vector<uint8_t> two = {1, 2};
+  ByteReader r(two);
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Error is sticky.
+  EXPECT_EQ(r.ReadU8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, Scalars) {
+  ExpectRoundTrip<uint8_t>(200);
+  ExpectRoundTrip<uint16_t>(60000);
+  ExpectRoundTrip<uint32_t>(4000000000u);
+  ExpectRoundTrip<uint64_t>(0xfedcba9876543210ULL);
+  ExpectRoundTrip<int64_t>(-123456789);
+  ExpectRoundTrip<int32_t>(-42);
+  ExpectRoundTrip<double>(3.14159265358979);
+  ExpectRoundTrip<float>(2.5f);
+  ExpectRoundTrip<bool>(true);
+  ExpectRoundTrip<char>('x');
+}
+
+TEST(CodecTest, Strings) {
+  ExpectRoundTrip(std::string(""));
+  ExpectRoundTrip(std::string("hello timely dataflow"));
+  ExpectRoundTrip(std::string(10000, 'z'));
+  std::string binary("\x00\x01\xff", 3);
+  ExpectRoundTrip(binary);
+}
+
+TEST(CodecTest, PairsAndTuples) {
+  ExpectRoundTrip(std::pair<uint32_t, std::string>{7, "seven"});
+  ExpectRoundTrip(std::tuple<uint64_t, double, std::string>{1, 2.0, "three"});
+  ExpectRoundTrip(std::pair<std::pair<int, int>, std::string>{{1, 2}, "nested"});
+}
+
+TEST(CodecTest, Vectors) {
+  ExpectRoundTrip(std::vector<uint64_t>{});
+  ExpectRoundTrip(std::vector<uint64_t>{1, 2, 3});
+  ExpectRoundTrip(std::vector<std::string>{"a", "", "ccc"});
+  ExpectRoundTrip(std::vector<std::pair<uint32_t, uint32_t>>{{1, 2}, {3, 4}});
+}
+
+TEST(CodecTest, MalformedStringLengthRejected) {
+  ByteWriter w;
+  w.WriteU32(1000);  // claims 1000 bytes, supplies 2
+  w.WriteU8('a');
+  w.WriteU8('b');
+  std::string out;
+  EXPECT_FALSE(DecodeFromBytes(std::span<const uint8_t>(w.buffer()), out));
+}
+
+TEST(CodecTest, MalformedVectorCountRejected) {
+  ByteWriter w;
+  w.WriteU32(1u << 30);  // absurd element count with no payload
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(DecodeFromBytes(std::span<const uint8_t>(w.buffer()), out));
+}
+
+TEST(CodecTest, TrailingBytesRejectedByDecodeFromBytes) {
+  std::vector<uint8_t> bytes = EncodeToBytes<uint32_t>(5);
+  bytes.push_back(0);
+  uint32_t out = 0;
+  EXPECT_FALSE(DecodeFromBytes<uint32_t>(std::span<const uint8_t>(bytes), out));
+}
+
+// Property sweep: random nested payloads survive a round trip.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomVectorsRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<uint64_t, std::string>> recs;
+  const size_t n = rng.Below(64);
+  for (size_t i = 0; i < n; ++i) {
+    std::string s;
+    const size_t len = rng.Below(32);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.Below(256)));
+    }
+    recs.emplace_back(rng.Next(), std::move(s));
+  }
+  ExpectRoundTrip(recs);
+}
+
+TEST_P(CodecPropertyTest, TruncationAtEveryPrefixFailsCleanly) {
+  Rng rng(GetParam());
+  std::vector<uint64_t> payload;
+  for (int i = 0; i < 16; ++i) {
+    payload.push_back(rng.Next());
+  }
+  std::vector<uint8_t> bytes = EncodeToBytes(payload);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint64_t> out;
+    EXPECT_FALSE(DecodeFromBytes(std::span<const uint8_t>(bytes.data(), cut), out));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest, ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace naiad
