@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_latency.dir/fig6b_latency.cpp.o"
+  "CMakeFiles/fig6b_latency.dir/fig6b_latency.cpp.o.d"
+  "fig6b_latency"
+  "fig6b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

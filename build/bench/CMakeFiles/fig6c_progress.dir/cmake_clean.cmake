@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_progress.dir/fig6c_progress.cpp.o"
+  "CMakeFiles/fig6c_progress.dir/fig6c_progress.cpp.o.d"
+  "fig6c_progress"
+  "fig6c_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_pagerank.dir/fig7a_pagerank.cpp.o"
+  "CMakeFiles/fig7a_pagerank.dir/fig7a_pagerank.cpp.o.d"
+  "fig7a_pagerank"
+  "fig7a_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

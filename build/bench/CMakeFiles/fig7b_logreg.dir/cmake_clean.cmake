@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_logreg.dir/fig7b_logreg.cpp.o"
+  "CMakeFiles/fig7b_logreg.dir/fig7b_logreg.cpp.o.d"
+  "fig7b_logreg"
+  "fig7b_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_kexposure.dir/fig7c_kexposure.cpp.o"
+  "CMakeFiles/fig7c_kexposure.dir/fig7c_kexposure.cpp.o.d"
+  "fig7c_kexposure"
+  "fig7c_kexposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_kexposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_graph_algos.dir/table1_graph_algos.cpp.o"
+  "CMakeFiles/table1_graph_algos.dir/table1_graph_algos.cpp.o.d"
+  "table1_graph_algos"
+  "table1_graph_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_graph_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_wordcount.dir/distributed_wordcount.cpp.o"
+  "CMakeFiles/distributed_wordcount.dir/distributed_wordcount.cpp.o.d"
+  "distributed_wordcount"
+  "distributed_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

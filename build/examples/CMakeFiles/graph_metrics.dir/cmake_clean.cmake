@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_metrics.dir/graph_metrics.cpp.o"
+  "CMakeFiles/graph_metrics.dir/graph_metrics.cpp.o.d"
+  "graph_metrics"
+  "graph_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

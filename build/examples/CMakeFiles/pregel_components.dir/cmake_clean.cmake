@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_components.dir/pregel_components.cpp.o"
+  "CMakeFiles/pregel_components.dir/pregel_components.cpp.o.d"
+  "pregel_components"
+  "pregel_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

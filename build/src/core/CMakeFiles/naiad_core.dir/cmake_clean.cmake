@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naiad_core.dir/controller.cc.o"
+  "CMakeFiles/naiad_core.dir/controller.cc.o.d"
+  "CMakeFiles/naiad_core.dir/vertex.cc.o"
+  "CMakeFiles/naiad_core.dir/vertex.cc.o.d"
+  "CMakeFiles/naiad_core.dir/worker.cc.o"
+  "CMakeFiles/naiad_core.dir/worker.cc.o.d"
+  "libnaiad_core.a"
+  "libnaiad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naiad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

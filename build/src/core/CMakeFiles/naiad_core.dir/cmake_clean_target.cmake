@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnaiad_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naiad_ft.dir/checkpoint.cc.o"
+  "CMakeFiles/naiad_ft.dir/checkpoint.cc.o.d"
+  "libnaiad_ft.a"
+  "libnaiad_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naiad_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cc" "src/net/CMakeFiles/naiad_net.dir/cluster.cc.o" "gcc" "src/net/CMakeFiles/naiad_net.dir/cluster.cc.o.d"
+  "/root/repo/src/net/progress_router.cc" "src/net/CMakeFiles/naiad_net.dir/progress_router.cc.o" "gcc" "src/net/CMakeFiles/naiad_net.dir/progress_router.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/naiad_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/naiad_net.dir/socket.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/naiad_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/naiad_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/naiad_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naiad_net.dir/cluster.cc.o"
+  "CMakeFiles/naiad_net.dir/cluster.cc.o.d"
+  "CMakeFiles/naiad_net.dir/progress_router.cc.o"
+  "CMakeFiles/naiad_net.dir/progress_router.cc.o.d"
+  "CMakeFiles/naiad_net.dir/socket.cc.o"
+  "CMakeFiles/naiad_net.dir/socket.cc.o.d"
+  "CMakeFiles/naiad_net.dir/transport.cc.o"
+  "CMakeFiles/naiad_net.dir/transport.cc.o.d"
+  "libnaiad_net.a"
+  "libnaiad_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naiad_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnaiad_net.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_extras_test.dir/algo_extras_test.cc.o"
+  "CMakeFiles/algo_extras_test.dir/algo_extras_test.cc.o.d"
+  "algo_extras_test"
+  "algo_extras_test.pdb"
+  "algo_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_progress_test.dir/core_progress_test.cc.o"
+  "CMakeFiles/core_progress_test.dir/core_progress_test.cc.o.d"
+  "core_progress_test"
+  "core_progress_test.pdb"
+  "core_progress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_progress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

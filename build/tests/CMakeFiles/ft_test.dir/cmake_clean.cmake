@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test.dir/ft_test.cc.o"
+  "CMakeFiles/ft_test.dir/ft_test.cc.o.d"
+  "ft_test"
+  "ft_test.pdb"
+  "ft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lib_ops_test.dir/lib_ops_test.cc.o"
+  "CMakeFiles/lib_ops_test.dir/lib_ops_test.cc.o.d"
+  "lib_ops_test"
+  "lib_ops_test.pdb"
+  "lib_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lib_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lib_pregel_allreduce_test.dir/lib_pregel_allreduce_test.cc.o"
+  "CMakeFiles/lib_pregel_allreduce_test.dir/lib_pregel_allreduce_test.cc.o.d"
+  "lib_pregel_allreduce_test"
+  "lib_pregel_allreduce_test.pdb"
+  "lib_pregel_allreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lib_pregel_allreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

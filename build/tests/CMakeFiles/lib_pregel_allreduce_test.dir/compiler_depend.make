@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lib_pregel_allreduce_test.
+# This may be replaced when dependencies are built.

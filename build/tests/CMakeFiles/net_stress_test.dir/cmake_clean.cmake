@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_stress_test.dir/net_stress_test.cc.o"
+  "CMakeFiles/net_stress_test.dir/net_stress_test.cc.o.d"
+  "net_stress_test"
+  "net_stress_test.pdb"
+  "net_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

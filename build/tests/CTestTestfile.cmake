@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/ser_test[1]_include.cmake")
+include("/root/repo/build/tests/core_timestamp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_summary_test[1]_include.cmake")
+include("/root/repo/build/tests/core_progress_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/lib_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/ft_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/lib_pregel_allreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/core_summary_property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_stress_test[1]_include.cmake")
