@@ -168,8 +168,9 @@ class TopHashtagVertex final : public BinaryVertex<AnalyticsEvent, TopTagQuery, 
 
   void Bump(uint64_t cid, uint64_t tag, int64_t delta) {
     auto& tags = cid_tags_[cid];
-    int64_t& n = tags[tag];
-    n += delta;
+    // Take the count by value: erase() below frees the node, so a reference
+    // into the map would dangle when we compare against the cached top.
+    const int64_t n = (tags[tag] += delta);
     if (n <= 0) {
       tags.erase(tag);
     }

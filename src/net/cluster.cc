@@ -129,8 +129,9 @@ void ProcessContext::HandleControl(uint32_t src, std::span<const uint8_t> payloa
 void ProcessContext::RunQuiesceBarrier() {
   for (uint64_t round = 0;; ++round) {
     ctl->tracker().WaitFor([&] { return ctl->tracker().Empty(); });
-    // Let the accumulators drain anything still held before counting traffic.
-    router->OnWorkerIdle();
+    // Let the accumulators drain anything still held before counting traffic. This must
+    // not be deferrable by fault injection: the stability check below assumes it ran.
+    router->FlushAll();
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
     w.WriteU8(kReport);
@@ -170,8 +171,11 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
     cfg.default_parallelism = opts.default_parallelism;
     procs[p].ctl = std::make_unique<Controller>(cfg);
     procs[p].transport = std::make_unique<TcpTransport>(p, n);
+    procs[p].transport->SetFaultPlan(opts.fault_plan);
     procs[p].router = std::make_unique<DistributedProgressRouter>(
-        procs[p].ctl.get(), procs[p].transport.get(), opts.strategy);
+        procs[p].ctl.get(), procs[p].transport.get(), opts.strategy,
+        /*hold_limit=*/1024,
+        opts.fault_plan != nullptr ? opts.fault_plan->Progress(p) : nullptr);
     procs[p].ctl->SetProgressRouter(procs[p].router.get());
     procs[p].ctl->SetDataTransport(procs[p].transport.get());
     ports[p] = procs[p].transport->Listen();

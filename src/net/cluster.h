@@ -33,6 +33,9 @@ struct ClusterOptions {
   ProgressStrategy strategy = ProgressStrategy::kLocalGlobalAcc;
   size_t batch_size = 4096;
   uint32_t default_parallelism = 0;
+  // Optional fault-injection plan (src/testing/fault.h); must outlive the run. Faults are
+  // schedule perturbations only — results must be identical to a fault-free run.
+  ClusterFaultPlan* fault_plan = nullptr;
 };
 
 struct ClusterStats {

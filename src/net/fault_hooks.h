@@ -1,0 +1,61 @@
+// Fault-injection hook interfaces for the distributed runtime.
+//
+// The networking and progress layers accept these (optional, default-off) hooks so a test
+// harness can impose adversarial schedules — partial writes, send stalls, connection resets
+// at chosen frame indices, deferred/reordered accumulator flushes — without changing any
+// protocol contract: every injected fault is FIFO- and content-preserving, and flush
+// perturbations stay within the §3.3 safety rule. Implementations live in
+// src/testing/fault.h; production code only ever sees null pointers.
+
+#ifndef SRC_NET_FAULT_HOOKS_H_
+#define SRC_NET_FAULT_HOOKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/progress.h"
+#include "src/net/socket.h"
+
+namespace naiad {
+
+// Per simplex connection (one (src, dst) process pair direction). Consumed only by that
+// connection's sender thread, so implementations need no internal locking for these calls.
+class LinkFaultHook : public WriteFaultHook {
+ public:
+  // Consulted before frame `frame_index` (0-based count of frames written on this link) is
+  // handed to the socket. Returning true makes the transport close the connection and
+  // transparently re-dial before sending the frame — a reset that lands exactly on a frame
+  // boundary, so the receiver sees EOF between frames and no frame is torn or reordered.
+  virtual bool ShouldResetBefore(uint64_t frame_index) = 0;
+};
+
+// Per-process perturbation of the progress accumulators (§3.3). All three calls must keep
+// the protocol's invariants: flushes may be delayed only boundedly (workers re-poll idle
+// accumulators, so a deferred flush is retried), forced flushes are always safe, and
+// reordering must keep every positive delta ahead of every negative one.
+class ProgressFaultHook {
+ public:
+  virtual ~ProgressFaultHook() = default;
+  // Called when a worker going idle would flush the accumulators. Return false to defer
+  // the flush to a later idle poll; implementations must return true after a bounded
+  // number of consecutive deferrals or the computation cannot terminate.
+  virtual bool BeforeIdleFlush() = 0;
+  // Consulted per accumulated batch; returning true flushes even though holding is safe.
+  virtual bool ForceEarlyFlush() = 0;
+  // May reorder `batch` within maximal same-sign runs (positives stay before negatives).
+  virtual void PerturbFlushBatch(std::vector<ProgressUpdate>& batch) = 0;
+};
+
+// The per-cluster plan: hands out hooks for each link and process. Link() is called from
+// every process's transport during Start() and may be called concurrently; the returned
+// hooks must outlive the cluster run. Either accessor may return nullptr (no faults).
+class ClusterFaultPlan {
+ public:
+  virtual ~ClusterFaultPlan() = default;
+  virtual LinkFaultHook* Link(uint32_t src_process, uint32_t dst_process) = 0;
+  virtual ProgressFaultHook* Progress(uint32_t process) = 0;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_NET_FAULT_HOOKS_H_

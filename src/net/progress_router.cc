@@ -36,6 +36,11 @@ void DistributedProgressRouter::Broadcast(std::vector<ProgressUpdate> updates) {
         AddToBuffer(local_buf_, updates);
         flush = !SafeToHold(local_buf_);
       }
+      // An early flush is always safe (holding is the optimization); injecting one
+      // exercises schedules where the accumulator releases mid-burst.
+      if (!flush && faults_ != nullptr && faults_->ForceEarlyFlush()) {
+        flush = true;
+      }
       if (flush) {
         FlushLocal();
       }
@@ -47,6 +52,9 @@ void DistributedProgressRouter::Broadcast(std::vector<ProgressUpdate> updates) {
 void DistributedProgressRouter::Emit(std::vector<ProgressUpdate> updates) {
   if (updates.empty()) {
     return;
+  }
+  if (faults_ != nullptr) {
+    faults_->PerturbFlushBatch(updates);
   }
   std::vector<uint8_t> payload = EncodeUpdates(updates);
   const bool to_central = strategy_ == ProgressStrategy::kGlobalAcc ||
@@ -61,6 +69,9 @@ void DistributedProgressRouter::Emit(std::vector<ProgressUpdate> updates) {
 void DistributedProgressRouter::EmitFromCentral(std::vector<ProgressUpdate> updates) {
   if (updates.empty()) {
     return;
+  }
+  if (faults_ != nullptr) {
+    faults_->PerturbFlushBatch(updates);
   }
   std::vector<uint8_t> payload = EncodeUpdates(updates);
   transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);
@@ -81,12 +92,24 @@ void DistributedProgressRouter::OnAccumulatorFrame(uint32_t /*src*/,
     AddToBuffer(central_buf_, ups);
     flush = !SafeToHold(central_buf_);
   }
+  if (!flush && faults_ != nullptr && faults_->ForceEarlyFlush()) {
+    flush = true;
+  }
   if (flush) {
     FlushCentral();
   }
 }
 
 void DistributedProgressRouter::OnWorkerIdle() {
+  // Idle flushes may be deferred (boundedly) by the fault hook: idle workers re-poll on
+  // the eventcount timeout, so a deferred flush is retried until the hook lets it pass.
+  if (faults_ != nullptr && !faults_->BeforeIdleFlush()) {
+    return;
+  }
+  FlushAll();
+}
+
+void DistributedProgressRouter::FlushAll() {
   FlushLocal();
   if (IsCentral()) {
     FlushCentral();

@@ -27,6 +27,7 @@
 
 #include "src/core/controller.h"
 #include "src/core/progress.h"
+#include "src/net/fault_hooks.h"
 #include "src/net/transport.h"
 
 namespace naiad {
@@ -54,13 +55,25 @@ inline const char* ToString(ProgressStrategy s) {
 
 class DistributedProgressRouter final : public ProgressRouter {
  public:
+  // `faults` (optional, test-only) perturbs flush timing and intra-batch order within the
+  // §3.3 safety rule; see src/net/fault_hooks.h.
   DistributedProgressRouter(Controller* ctl, TcpTransport* transport,
-                            ProgressStrategy strategy, size_t hold_limit = 1024)
-      : ctl_(ctl), transport_(transport), strategy_(strategy), hold_limit_(hold_limit) {}
+                            ProgressStrategy strategy, size_t hold_limit = 1024,
+                            ProgressFaultHook* faults = nullptr)
+      : ctl_(ctl),
+        transport_(transport),
+        strategy_(strategy),
+        hold_limit_(hold_limit),
+        faults_(faults) {}
 
   // From local workers (and input handles).
   void Broadcast(std::vector<ProgressUpdate> updates) override;
   void OnWorkerIdle() override;
+
+  // Unconditional flush of every held update, bypassing any fault-injected deferral. The
+  // termination barrier must use this: its report reads the tracker immediately after the
+  // flush, and a deferred flush there could hide updates from the stability check.
+  void FlushAll();
 
   // Transport receive paths.
   void OnProgressFrame(uint32_t src, std::span<const uint8_t> payload);
@@ -89,6 +102,7 @@ class DistributedProgressRouter final : public ProgressRouter {
   TcpTransport* transport_;
   ProgressStrategy strategy_;
   size_t hold_limit_;
+  ProgressFaultHook* faults_;
 
   std::mutex local_mu_;
   std::map<Pointstamp, int64_t> local_buf_;

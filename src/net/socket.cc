@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -19,7 +20,9 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    write_faults_ = other.write_faults_;
     other.fd_ = -1;
+    other.write_faults_ = nullptr;
   }
   return *this;
 }
@@ -27,7 +30,23 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 bool Socket::WriteAll(std::span<const uint8_t> data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    size_t want = data.size() - off;
+    if (write_faults_ != nullptr) {
+      WriteStep step = write_faults_->Next(want);
+      for (uint32_t z = 0; z < step.zero_writes; ++z) {
+        // A zero-byte send() is a real syscall that transfers nothing — the shape of an
+        // interrupted write — and re-enters this retry loop with `off` unchanged.
+        ssize_t n = ::send(fd_, data.data() + off, 0, MSG_NOSIGNAL);
+        if (n < 0 && errno != EINTR) {
+          return false;
+        }
+      }
+      if (step.delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(step.delay_us));
+      }
+      want = std::min(want, std::max<size_t>(1, step.max_len));
+    }
+    ssize_t n = ::send(fd_, data.data() + off, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -132,6 +151,12 @@ Socket Listener::Accept() {
   Socket s(fd);
   s.SetNoDelay();
   return s;
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
 }
 
 void Listener::Close() {

@@ -9,18 +9,43 @@
 #ifndef SRC_NET_SOCKET_H_
 #define SRC_NET_SOCKET_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace naiad {
+
+// Fault injection (src/testing/fault.h): constraints applied to one send() attempt.
+// `max_len` caps how many bytes this step may write (forcing partial writes),
+// `delay_us` stalls the sender first, and `zero_writes` issues that many zero-byte
+// send() calls before the real one — the syscall-level shape of an EINTR/EAGAIN storm,
+// re-entering WriteAll's retry loop without changing what ultimately reaches the wire.
+struct WriteStep {
+  uint32_t delay_us = 0;
+  size_t max_len = std::numeric_limits<size_t>::max();
+  uint32_t zero_writes = 0;
+};
+
+// Consulted by Socket::WriteAll before every send() attempt when installed. All faults are
+// FIFO- and content-preserving: the receiver observes identical bytes in identical order,
+// only the syscall schedule changes.
+class WriteFaultHook {
+ public:
+  virtual ~WriteFaultHook() = default;
+  virtual WriteStep Next(size_t remaining) = 0;
+};
 
 class Socket {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept : fd_(other.fd_), write_faults_(other.write_faults_) {
+    other.fd_ = -1;
+    other.write_faults_ = nullptr;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -38,11 +63,17 @@ class Socket {
   void ShutdownBoth();
   void Close();
 
+  // Installs (or clears, with nullptr) a fault hook consulted on every WriteAll step.
+  // Non-owning; the hook must outlive the socket's use. Only the writing thread may call
+  // WriteAll while a hook is installed.
+  void SetWriteFaults(WriteFaultHook* hook) { write_faults_ = hook; }
+
   // Connects to 127.0.0.1:port (retrying briefly while the listener comes up).
   static Socket ConnectLocal(uint16_t port);
 
  private:
   int fd_ = -1;
+  WriteFaultHook* write_faults_ = nullptr;
 };
 
 class Listener {
@@ -57,6 +88,9 @@ class Listener {
   // Binds 127.0.0.1 on an ephemeral port; returns the chosen port (0 on failure).
   uint16_t Open();
   Socket Accept();
+  // Unblocks a concurrent Accept() (which then returns an invalid Socket) without
+  // releasing the fd; callers then join the accepting thread before Close().
+  void Shutdown();
   void Close();
   bool valid() const { return fd_ >= 0; }
 

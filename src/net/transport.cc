@@ -9,10 +9,12 @@ namespace naiad {
 
 TcpTransport::TcpTransport(uint32_t process_id, uint32_t processes)
     : pid_(process_id), nprocs_(processes) {
-  peers_.resize(nprocs_);
+  send_links_.resize(nprocs_);
+  recv_links_.resize(nprocs_);
   for (uint32_t p = 0; p < nprocs_; ++p) {
     if (p != pid_) {
-      peers_[p] = std::make_unique<Peer>();
+      send_links_[p] = std::make_unique<SendLink>();
+      recv_links_[p] = std::make_unique<RecvLink>();
     }
   }
 }
@@ -25,36 +27,69 @@ uint16_t TcpTransport::Listen() {
   return port;
 }
 
+Socket TcpTransport::DialPeer(uint32_t dst) {
+  Socket s = Socket::ConnectLocal(ports_[dst]);
+  if (!s.valid()) {
+    return Socket();
+  }
+  uint32_t me = pid_;
+  if (!s.WriteAll(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&me),
+                                           sizeof(me)))) {
+    return Socket();
+  }
+  return s;
+}
+
 void TcpTransport::Start(const std::vector<uint16_t>& ports, Callbacks cb) {
   cb_ = std::move(cb);
   NAIAD_CHECK(ports.size() == nprocs_);
-  // Deterministic mesh bring-up: process j dials every i < j; process i accepts from every
-  // j > i. The dialer announces its id in a one-byte-wide handshake.
-  for (uint32_t i = 0; i < pid_; ++i) {
-    Socket s = Socket::ConnectLocal(ports[i]);
-    NAIAD_CHECK(s.valid()) << "connect to process " << i << " failed";
-    uint32_t me = pid_;
-    NAIAD_CHECK(s.WriteAll(std::span<const uint8_t>(
-        reinterpret_cast<const uint8_t*>(&me), sizeof(me))));
-    peers_[i]->socket = std::move(s);
-  }
-  for (uint32_t j = pid_ + 1; j < nprocs_; ++j) {
-    Socket s = listener_.Accept();
-    NAIAD_CHECK(s.valid());
-    uint32_t who = 0;
-    NAIAD_CHECK(
-        s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who))));
-    NAIAD_CHECK(who > pid_ && who < nprocs_);
-    NAIAD_CHECK(!peers_[who]->socket.valid());
-    peers_[who]->socket = std::move(s);
+  ports_ = ports;
+  // The accept loop owns the listener for the transport's lifetime: it feeds both the
+  // initial mesh bring-up and any replacement connection after a fault-injected reset.
+  acceptor_ = std::thread([this] { AcceptorMain(); });
+  for (uint32_t p = 0; p < nprocs_; ++p) {
+    if (p == pid_) {
+      continue;
+    }
+    SendLink* link = send_links_[p].get();
+    if (fault_plan_ != nullptr) {
+      link->faults = fault_plan_->Link(pid_, p);
+    }
+    Socket s = DialPeer(p);
+    NAIAD_CHECK(s.valid()) << "connect to process " << p << " failed";
+    s.SetWriteFaults(link->faults);
+    link->socket = std::move(s);
   }
   for (uint32_t p = 0; p < nprocs_; ++p) {
     if (p == pid_) {
       continue;
     }
-    Peer* peer = peers_[p].get();
-    peer->sender = std::thread([this, peer] { SenderMain(*peer); });
-    peer->receiver = std::thread([this, peer] { ReceiverMain(*peer); });
+    SendLink* sl = send_links_[p].get();
+    RecvLink* rl = recv_links_[p].get();
+    sl->sender = std::thread([this, p, sl] { SenderMain(p, *sl); });
+    rl->receiver = std::thread([this, p, rl] { ReceiverMain(p, *rl); });
+  }
+}
+
+void TcpTransport::AcceptorMain() {
+  for (;;) {
+    Socket s = listener_.Accept();
+    if (!s.valid()) {
+      return;  // listener closed (shutdown)
+    }
+    uint32_t who = 0;
+    if (!s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who)))) {
+      continue;  // dialer vanished before identifying itself
+    }
+    if (who >= nprocs_ || who == pid_) {
+      continue;
+    }
+    RecvLink& link = *recv_links_[who];
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      link.pending.push_back(std::move(s));
+    }
+    link.cv.notify_all();
   }
 }
 
@@ -80,15 +115,15 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
   std::vector<uint8_t> frame = MakeFrame(type, payload);
   frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
   bytes_sent_[static_cast<size_t>(type)].fetch_add(frame.size(), std::memory_order_relaxed);
-  Peer& peer = *peers_[dst];
+  SendLink& link = *send_links_[dst];
   {
-    std::lock_guard<std::mutex> lock(peer.mu);
-    if (peer.closed) {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.closed) {
       return;
     }
-    peer.queue.push_back(std::move(frame));
+    link.queue.push_back(std::move(frame));
   }
-  peer.cv.notify_one();
+  link.cv.notify_one();
 }
 
 void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload,
@@ -120,44 +155,78 @@ void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_
   NAIAD_CHECK(false);
 }
 
-void TcpTransport::SenderMain(Peer& peer) {
+void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
+  uint64_t frame_index = 0;
   for (;;) {
     std::vector<uint8_t> frame;
     {
-      std::unique_lock<std::mutex> lock(peer.mu);
-      peer.cv.wait(lock, [&] { return peer.closed || !peer.queue.empty(); });
-      if (peer.queue.empty()) {
+      std::unique_lock<std::mutex> lock(link.mu);
+      link.cv.wait(lock, [&] { return link.closed || !link.queue.empty(); });
+      if (link.queue.empty()) {
         return;  // closed and drained
       }
-      frame = std::move(peer.queue.front());
-      peer.queue.pop_front();
+      frame = std::move(link.queue.front());
+      link.queue.pop_front();
     }
-    if (!peer.socket.WriteAll(frame)) {
+    if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire) &&
+        link.faults->ShouldResetBefore(frame_index)) {
+      // Reset at a frame boundary: every previously queued frame was fully written, so the
+      // peer's receiver drains to EOF between frames and resumes on the replacement
+      // connection — FIFO and framing both preserved.
+      link.socket.Close();
+      Socket s = DialPeer(dst);
+      if (s.valid()) {
+        s.SetWriteFaults(link.faults);
+        link.socket = std::move(s);
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!link.socket.WriteAll(frame)) {
       return;  // peer went away during shutdown
     }
+    ++frame_index;
   }
 }
 
-void TcpTransport::ReceiverMain(Peer& peer) {
+void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
   for (;;) {
-    uint8_t header[9];
-    if (!peer.socket.ReadAll(header)) {
-      return;
+    {
+      std::unique_lock<std::mutex> lock(link.mu);
+      link.socket.Close();  // done with the previous connection, if any
+      link.reading = false;
+      link.cv.wait(lock, [&] {
+        return !link.pending.empty() || shutdown_.load(std::memory_order_acquire);
+      });
+      if (link.pending.empty()) {
+        return;  // shutdown
+      }
+      link.socket = std::move(link.pending.front());
+      link.pending.pop_front();
+      link.reading = true;
     }
-    ByteReader hr(header);
-    const uint32_t len = hr.ReadU32();
-    const auto type = static_cast<FrameType>(hr.ReadU8());
-    const uint32_t src = hr.ReadU32();
-    NAIAD_CHECK(static_cast<uint8_t>(type) < kNumFrameTypes);
-    NAIAD_CHECK(src < nprocs_);
-    std::vector<uint8_t> payload(len);
-    if (len > 0 && !peer.socket.ReadAll(payload)) {
-      return;
+    for (;;) {
+      uint8_t header[9];
+      if (!link.socket.ReadAll(header)) {
+        break;  // EOF: either peer reset (replacement coming) or the run is over
+      }
+      ByteReader hr(header);
+      const uint32_t len = hr.ReadU32();
+      const auto type = static_cast<FrameType>(hr.ReadU8());
+      const uint32_t frame_src = hr.ReadU32();
+      NAIAD_CHECK(static_cast<uint8_t>(type) < kNumFrameTypes);
+      NAIAD_CHECK(frame_src == src);
+      std::vector<uint8_t> payload(len);
+      if (len > 0 && !link.socket.ReadAll(payload)) {
+        break;
+      }
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+      Dispatch(type, frame_src, payload);
     }
     if (shutdown_.load(std::memory_order_acquire)) {
       return;
     }
-    Dispatch(type, src, payload);
   }
 }
 
@@ -165,25 +234,49 @@ void TcpTransport::Shutdown() {
   if (shutdown_.exchange(true)) {
     return;
   }
-  for (auto& peer : peers_) {
-    if (peer == nullptr) {
+  // Stop accepting replacements first so the acceptor cannot race socket teardown.
+  listener_.Shutdown();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  listener_.Close();
+  for (auto& link : send_links_) {
+    if (link == nullptr) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(peer->mu);
-      peer->closed = true;
+      std::lock_guard<std::mutex> lock(link->mu);
+      link->closed = true;
     }
-    peer->cv.notify_all();
-    if (peer->sender.joinable()) {
-      peer->sender.join();
+    link->cv.notify_all();
+    if (link->sender.joinable()) {
+      link->sender.join();
     }
-    peer->socket.ShutdownBoth();
-    if (peer->receiver.joinable()) {
-      peer->receiver.join();
-    }
-    peer->socket.Close();
+    link->socket.Close();
   }
-  listener_.Close();
+  for (auto& link : recv_links_) {
+    if (link == nullptr) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      // Unblock a receiver parked in ReadAll; its own assignments of `socket` happen
+      // before `reading` was published under the lock, so the fd we shut down here is
+      // the one it is reading.
+      if (link->reading) {
+        link->socket.ShutdownBoth();
+      }
+    }
+    link->cv.notify_all();
+    if (link->receiver.joinable()) {
+      link->receiver.join();
+    }
+    link->socket.Close();
+    for (Socket& s : link->pending) {
+      s.Close();
+    }
+    link->pending.clear();
+  }
 }
 
 }  // namespace naiad

@@ -1,6 +1,15 @@
-// The inter-process transport (§3): a full mesh of TCP connections, one per process pair,
-// with a dedicated send thread (draining a FIFO queue) and receive thread per peer.
-// Per-pair FIFO is what the distributed progress protocol requires of its channels (§3.3).
+// The inter-process transport (§3): a full mesh of TCP connections, one per ordered
+// process pair, with a dedicated send thread (draining a FIFO queue) and receive thread
+// per peer. Per-pair FIFO is what the distributed progress protocol requires of its
+// channels (§3.3).
+//
+// Connections are simplex: process s's frames to process d travel on a connection s dials
+// to d's listener (announcing s in a handshake), and d's frames to s travel on a separate
+// connection d dials to s. An accept loop runs for the transport's lifetime, so a sender
+// may close its connection at a frame boundary and transparently re-dial — the mechanism
+// the fault-injection harness (src/testing/fault.h) uses to exercise connection resets
+// without violating the FIFO contract: the receiver drains the old connection to EOF
+// (TCP delivers all bytes written before the close), then resumes on the replacement.
 //
 // Frames: [u32 length][u8 type][u32 src_process][payload]. Self-addressed sends dispatch
 // directly (no socket to self), preserving the "broadcast includes self" semantics.
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "src/core/controller.h"
+#include "src/net/fault_hooks.h"
 #include "src/net/socket.h"
 
 namespace naiad {
@@ -43,6 +53,9 @@ class TcpTransport final : public DataTransport {
 
   TcpTransport(uint32_t process_id, uint32_t processes);
   ~TcpTransport() override;
+
+  // Optional fault plan; must be set before Start() and outlive the transport.
+  void SetFaultPlan(ClusterFaultPlan* plan) { fault_plan_ = plan; }
 
   // Phase 1 (launcher thread): open the listener, returning its port.
   uint16_t Listen();
@@ -70,32 +83,56 @@ class TcpTransport final : public DataTransport {
   uint64_t frames_received(FrameType type) const {
     return frames_received_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
   }
+  // Connections this transport re-established after a (fault-injected) reset.
+  uint64_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
 
   uint32_t process_id() const { return pid_; }
   uint32_t processes() const { return nprocs_; }
 
  private:
-  struct Peer {
+  // Outbound half: the connection we dialed to the peer, fed by a FIFO queue.
+  struct SendLink {
     Socket socket;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::vector<uint8_t>> queue;  // fully framed bytes
     bool closed = false;
     std::thread sender;
+    LinkFaultHook* faults = nullptr;  // owned by the fault plan
+  };
+
+  // Inbound half: connections the peer dialed to us, delivered by the accept loop. The
+  // receiver drains `pending` in arrival order; sockets are only mutated under `mu` (the
+  // receiver's unlocked reads during ReadAll race with nothing, as only the receiver
+  // assigns `socket` and Shutdown joins it before closing).
+  struct RecvLink {
+    std::mutex mu;
+    std::condition_variable cv;
+    Socket socket;
+    bool reading = false;                // a socket is installed and being drained
+    std::deque<Socket> pending;          // replacement connections, FIFO
     std::thread receiver;
   };
 
   void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload);
-  void SenderMain(Peer& peer);
-  void ReceiverMain(Peer& peer);
+  void AcceptorMain();
+  void SenderMain(uint32_t dst, SendLink& link);
+  void ReceiverMain(uint32_t src, RecvLink& link);
+  // Dials `dst` and writes the identifying handshake; invalid Socket on failure.
+  Socket DialPeer(uint32_t dst);
   std::vector<uint8_t> MakeFrame(FrameType type, std::span<const uint8_t> payload) const;
 
   uint32_t pid_;
   uint32_t nprocs_;
   Listener listener_;
-  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by process id; [pid_] unused
+  std::vector<uint16_t> ports_;  // everyone's listener ports, for re-dialing after a reset
+  std::vector<std::unique_ptr<SendLink>> send_links_;  // indexed by dst; [pid_] unused
+  std::vector<std::unique_ptr<RecvLink>> recv_links_;  // indexed by src; [pid_] unused
+  std::thread acceptor_;
   Callbacks cb_;
+  ClusterFaultPlan* fault_plan_ = nullptr;
   std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> bytes_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_received_[kNumFrameTypes] = {};

@@ -1,0 +1,155 @@
+#include "src/testing/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/base/hash.h"
+
+namespace naiad {
+
+namespace {
+
+// Domain-separated child seeds so link and progress streams never correlate.
+constexpr uint64_t kLinkDomain = 0x4c494e4bULL;      // "LINK"
+constexpr uint64_t kProgressDomain = 0x50524f47ULL;  // "PROG"
+
+// Seeded Fisher-Yates over [begin, end).
+void ShuffleRange(std::vector<ProgressUpdate>& v, size_t begin, size_t end, Rng& rng) {
+  for (size_t i = end - begin; i > 1; --i) {
+    std::swap(v[begin + i - 1], v[begin + rng.Below(i)]);
+  }
+}
+
+}  // namespace
+
+FaultProfile FaultProfile::FromSeed(uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x50524f46494c45ULL));  // "PROFILE"
+  FaultProfile p;
+  // Every class stays enabled; the seed scales intensity so a sweep visits both gentle
+  // and hostile schedules. Delays are kept small: they multiply across every write step.
+  p.partial_write_prob = 0.05 + 0.45 * rng.NextDouble();
+  p.max_chunk_bytes = 1 + rng.Below(16);
+  p.delay_prob = 0.01 + 0.05 * rng.NextDouble();
+  p.max_delay_us = 20 + static_cast<uint32_t>(rng.Below(180));
+  p.spurious_retry_prob = 0.02 + 0.2 * rng.NextDouble();
+  p.max_spurious_retries = 1 + static_cast<uint32_t>(rng.Below(4));
+  p.reset_prob = 0.002 + 0.02 * rng.NextDouble();
+  p.max_resets_per_link = 2 + static_cast<uint32_t>(rng.Below(6));
+  p.defer_idle_flush_prob = 0.1 + 0.4 * rng.NextDouble();
+  p.max_consecutive_defers = 1 + static_cast<uint32_t>(rng.Below(4));
+  p.idle_flush_delay_prob = 0.05 + 0.15 * rng.NextDouble();
+  p.max_flush_delay_us = 20 + static_cast<uint32_t>(rng.Below(300));
+  p.early_flush_prob = 0.05 + 0.25 * rng.NextDouble();
+  p.shuffle_flush_batches = rng.Below(2) == 0;
+  return p;
+}
+
+WriteStep LinkFaults::Next(size_t remaining) {
+  WriteStep step;
+  if (profile_.spurious_retry_prob > 0 && rng_.NextDouble() < profile_.spurious_retry_prob) {
+    step.zero_writes = 1 + static_cast<uint32_t>(rng_.Below(
+                               std::max<uint32_t>(1, profile_.max_spurious_retries)));
+  }
+  if (profile_.delay_prob > 0 && rng_.NextDouble() < profile_.delay_prob) {
+    step.delay_us = 1 + static_cast<uint32_t>(rng_.Below(
+                            std::max<uint32_t>(1, profile_.max_delay_us)));
+  }
+  if (profile_.partial_write_prob > 0 && remaining > 1 &&
+      rng_.NextDouble() < profile_.partial_write_prob) {
+    step.max_len = 1 + rng_.Below(std::max<size_t>(1, profile_.max_chunk_bytes));
+  }
+  return step;
+}
+
+bool LinkFaults::ShouldResetBefore(uint64_t /*frame_index*/) {
+  if (profile_.reset_prob <= 0 || resets_ >= profile_.max_resets_per_link) {
+    return false;
+  }
+  if (rng_.NextDouble() < profile_.reset_prob) {
+    ++resets_;
+    return true;
+  }
+  return false;
+}
+
+bool ProgressFaults::BeforeIdleFlush() {
+  uint32_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (profile_.defer_idle_flush_prob > 0 &&
+        consecutive_defers_ < profile_.max_consecutive_defers &&
+        rng_.NextDouble() < profile_.defer_idle_flush_prob) {
+      ++consecutive_defers_;
+      return false;
+    }
+    consecutive_defers_ = 0;
+    if (profile_.idle_flush_delay_prob > 0 &&
+        rng_.NextDouble() < profile_.idle_flush_delay_prob) {
+      delay_us = 1 + static_cast<uint32_t>(rng_.Below(
+                         std::max<uint32_t>(1, profile_.max_flush_delay_us)));
+    }
+  }
+  if (delay_us > 0) {
+    // Stall outside the lock: the point is to let other workers' updates land in the
+    // accumulator first, changing the batch composition the flush takes.
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return true;
+}
+
+bool ProgressFaults::ForceEarlyFlush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_.early_flush_prob > 0 && rng_.NextDouble() < profile_.early_flush_prob;
+}
+
+void ProgressFaults::PerturbFlushBatch(std::vector<ProgressUpdate>& batch) {
+  if (!profile_.shuffle_flush_batches || batch.size() < 2) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Shuffle within maximal same-sign runs: receivers apply batches in order, and the
+  // §3.3 discipline requires every positive to land before any negative it pairs with.
+  size_t run_start = 0;
+  for (size_t i = 1; i <= batch.size(); ++i) {
+    if (i == batch.size() || (batch[i].delta > 0) != (batch[run_start].delta > 0)) {
+      if (i - run_start > 1) {
+        ShuffleRange(batch, run_start, i, rng_);
+      }
+      run_start = i;
+    }
+  }
+}
+
+LinkFaultHook* FaultPlan::Link(uint32_t src_process, uint32_t dst_process) {
+  const uint64_t key = (static_cast<uint64_t>(src_process) << 32) | dst_process;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    const uint64_t child = HashCombine(HashCombine(seed_, kLinkDomain), key);
+    it = links_.emplace(key, std::make_unique<LinkFaults>(child, profile_)).first;
+  }
+  return it->second.get();
+}
+
+uint64_t FaultPlan::total_resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, link] : links_) {
+    total += link->resets_injected();
+  }
+  return total;
+}
+
+ProgressFaultHook* FaultPlan::Progress(uint32_t process) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = processes_.find(process);
+  if (it == processes_.end()) {
+    const uint64_t child = HashCombine(HashCombine(seed_, kProgressDomain), process);
+    it = processes_.emplace(process, std::make_unique<ProgressFaults>(child, profile_))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace naiad

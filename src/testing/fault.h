@@ -1,0 +1,114 @@
+// Deterministic fault injection for the distributed runtime.
+//
+// A FaultPlan is a pure function of one uint64_t seed: it derives an independent
+// splitmix64 decision stream per simplex connection (keyed by the (src, dst) process
+// pair) and per process's progress accumulator. Every injected fault — partial writes,
+// zero-byte "EINTR storm" retries, bounded send stalls, connection resets at frame
+// boundaries, deferred/early/shuffled accumulator flushes — is a schedule perturbation
+// that preserves the protocol contract (per-link FIFO, §3.3 flush safety), so any run
+// under any plan must produce results identical to the fault-free run. A failing
+// schedule reproduces from its seed alone: decisions depend only on the seed and on each
+// consumer's own event index (frames written on a link, bytes stepped through a write,
+// flushes attempted), not on cross-thread timing.
+//
+// Wiring: ClusterOptions::fault_plan (tests), or TcpTransport::SetFaultPlan plus the
+// DistributedProgressRouter `faults` constructor argument directly.
+
+#ifndef SRC_TESTING_FAULT_H_
+#define SRC_TESTING_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/net/fault_hooks.h"
+
+namespace naiad {
+
+// Per-class fault intensities. All probabilities are per decision point; zero disables
+// the class. The defaults are a no-op plan.
+struct FaultProfile {
+  // Socket write faults (Socket::WriteAll steps).
+  double partial_write_prob = 0.0;   // cap one send() at max_chunk_bytes
+  size_t max_chunk_bytes = 8;
+  double delay_prob = 0.0;           // stall the sender before a send()
+  uint32_t max_delay_us = 100;
+  double spurious_retry_prob = 0.0;  // zero-byte send()s before the real one
+  uint32_t max_spurious_retries = 3;
+  // Transport frame faults (per frame on a link).
+  double reset_prob = 0.0;           // close + re-dial before the frame
+  uint32_t max_resets_per_link = 8;
+  // Progress accumulator faults (§3.3-safe).
+  double defer_idle_flush_prob = 0.0;   // skip an idle flush (bounded consecutive skips)
+  uint32_t max_consecutive_defers = 3;
+  double idle_flush_delay_prob = 0.0;   // stall inside the idle flush instead
+  uint32_t max_flush_delay_us = 200;
+  double early_flush_prob = 0.0;        // flush although holding would be safe
+  bool shuffle_flush_batches = false;   // reorder within same-sign runs
+
+  // A mixed-intensity profile with every fault class enabled, derived from the seed so a
+  // sweep covers light and heavy injection. Used by the seeded test sweeps.
+  static FaultProfile FromSeed(uint64_t seed);
+};
+
+// Write + reset faults for one simplex connection. Consumed by exactly one sender thread
+// (the LinkFaultHook contract), so no locking.
+class LinkFaults final : public LinkFaultHook {
+ public:
+  LinkFaults(uint64_t seed, const FaultProfile& profile) : rng_(seed), profile_(profile) {}
+
+  WriteStep Next(size_t remaining) override;
+  bool ShouldResetBefore(uint64_t frame_index) override;
+
+  uint64_t resets_injected() const { return resets_; }
+
+ private:
+  Rng rng_;
+  FaultProfile profile_;
+  uint64_t resets_ = 0;
+};
+
+// Flush perturbation for one process's accumulators. Called from multiple worker threads,
+// so decisions are serialized internally.
+class ProgressFaults final : public ProgressFaultHook {
+ public:
+  ProgressFaults(uint64_t seed, const FaultProfile& profile)
+      : rng_(seed), profile_(profile) {}
+
+  bool BeforeIdleFlush() override;
+  bool ForceEarlyFlush() override;
+  void PerturbFlushBatch(std::vector<ProgressUpdate>& batch) override;
+
+ private:
+  std::mutex mu_;
+  Rng rng_;
+  FaultProfile profile_;
+  uint32_t consecutive_defers_ = 0;
+};
+
+class FaultPlan final : public ClusterFaultPlan {
+ public:
+  FaultPlan(uint64_t seed, FaultProfile profile) : seed_(seed), profile_(profile) {}
+
+  LinkFaultHook* Link(uint32_t src_process, uint32_t dst_process) override;
+  ProgressFaultHook* Progress(uint32_t process) override;
+
+  uint64_t seed() const { return seed_; }
+  const FaultProfile& profile() const { return profile_; }
+  // Resets actually injected across all links so far (for test assertions).
+  uint64_t total_resets() const;
+
+ private:
+  uint64_t seed_;
+  FaultProfile profile_;
+  mutable std::mutex mu_;  // guards lazy hook creation (Start() runs per-process concurrently)
+  std::map<uint64_t, std::unique_ptr<LinkFaults>> links_;
+  std::map<uint32_t, std::unique_ptr<ProgressFaults>> processes_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_TESTING_FAULT_H_

@@ -2,10 +2,12 @@
 // shared-memory GAS engine (Fig. 7a) must compute the same answers as plain references.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <functional>
 #include <map>
 #include <queue>
+#include <string>
 
 #include "src/baseline/batch_engine.h"
 #include "src/baseline/gas_engine.h"
@@ -13,6 +15,12 @@
 
 namespace naiad {
 namespace {
+
+// ctest runs test binaries in parallel; a fixed spill path would let two
+// processes clobber each other's file between write and read-back.
+std::string SpillPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "." + std::to_string(getpid()) + ".spill";
+}
 
 std::map<uint64_t, uint64_t> RefWcc(const std::vector<Edge>& edges) {
   std::map<uint64_t, uint64_t> parent;
@@ -64,7 +72,7 @@ class BaselineSweep : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(BaselineSweep, BatchWccMatchesUnionFind) {
   std::vector<Edge> edges = RandomGraph(50, 80, GetParam());
   std::map<uint64_t, uint64_t> labels;
-  uint64_t iters = BatchWcc(edges, ::testing::TempDir() + "/batch_wcc.spill", &labels, BatchEngineOptions{0});
+  uint64_t iters = BatchWcc(edges, SpillPath("batch_wcc"), &labels, BatchEngineOptions{0});
   EXPECT_GT(iters, 0u);
   EXPECT_EQ(labels, RefWcc(edges));
 }
@@ -72,7 +80,7 @@ TEST_P(BaselineSweep, BatchWccMatchesUnionFind) {
 TEST_P(BaselineSweep, BatchPageRankMatchesReference) {
   std::vector<Edge> edges = RandomGraph(30, 60, GetParam() + 50);
   std::map<uint64_t, double> ranks;
-  BatchPageRank(edges, 6, ::testing::TempDir() + "/batch_pr.spill", &ranks, BatchEngineOptions{0});
+  BatchPageRank(edges, 6, SpillPath("batch_pr"), &ranks, BatchEngineOptions{0});
   std::map<uint64_t, double> want = RefPageRank(edges, 6);
   ASSERT_EQ(ranks.size(), want.size());
   for (const auto& [n, r] : want) {
@@ -93,14 +101,14 @@ TEST_P(BaselineSweep, GasPageRankMatchesReference) {
 TEST_P(BaselineSweep, BatchAspMatchesBfsDistances) {
   std::vector<Edge> edges = RandomGraph(40, 90, GetParam() + 500);
   std::vector<uint64_t> sources = {0, 1};
-  uint64_t iters = BatchAsp(edges, sources, ::testing::TempDir() + "/batch_asp.spill", BatchEngineOptions{0});
+  uint64_t iters = BatchAsp(edges, sources, SpillPath("batch_asp"), BatchEngineOptions{0});
   EXPECT_GT(iters, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep, ::testing::Range<uint64_t>(0, 4));
 
 TEST(BatchEngineTest, SpillsBytesEveryIteration) {
-  BatchIterativeEngine engine(::testing::TempDir() + "/spill.bin", BatchEngineOptions{0});
+  BatchIterativeEngine engine(SpillPath("spill"), BatchEngineOptions{0});
   std::vector<uint64_t> state = {1, 2, 3};
   uint64_t iters = engine.Run<std::vector<uint64_t>>(state, 5, [](std::vector<uint64_t>& s) {
     for (uint64_t& x : s) {
@@ -114,7 +122,7 @@ TEST(BatchEngineTest, SpillsBytesEveryIteration) {
 }
 
 TEST(BatchEngineTest, StopsOnConvergence) {
-  BatchIterativeEngine engine(::testing::TempDir() + "/spill2.bin", BatchEngineOptions{0});
+  BatchIterativeEngine engine(SpillPath("spill2"), BatchEngineOptions{0});
   uint64_t countdown = 3;
   struct State {
     uint64_t v = 0;

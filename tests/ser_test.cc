@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/rng.h"
 #include "src/ser/bytes.h"
 #include "src/ser/codec.h"
@@ -139,6 +142,77 @@ TEST_P(CodecPropertyTest, TruncationAtEveryPrefixFailsCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest, ::testing::Range<uint64_t>(0, 16));
+
+// ---- Seeded fuzz loop over deeply nested codecs ---------------------------------------
+//
+// 1000+ random instances of a nested tuple/vector/string/map shape, each round-tripped
+// exactly, plus random truncations that must fail cleanly (no UB, no partial accept).
+// Any failing case reproduces from its case index alone.
+
+namespace fuzz {
+
+using Inner = std::pair<uint32_t, std::string>;
+using Record = std::tuple<uint64_t, std::string, std::vector<Inner>, std::vector<uint64_t>>;
+using Payload = std::pair<std::vector<Record>, std::map<std::string, std::vector<uint64_t>>>;
+
+std::string RandomString(Rng& rng, size_t max_len) {
+  std::string s;
+  const size_t len = rng.Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.Below(256)));
+  }
+  return s;
+}
+
+Payload RandomPayload(Rng& rng) {
+  Payload p;
+  const size_t records = rng.Below(8);
+  for (size_t i = 0; i < records; ++i) {
+    std::vector<Inner> inners;
+    const size_t n_inner = rng.Below(5);
+    for (size_t j = 0; j < n_inner; ++j) {
+      inners.emplace_back(static_cast<uint32_t>(rng.Next()), RandomString(rng, 24));
+    }
+    std::vector<uint64_t> nums;
+    const size_t n_nums = rng.Below(9);
+    for (size_t j = 0; j < n_nums; ++j) {
+      nums.push_back(rng.Next());
+    }
+    p.first.emplace_back(rng.Next(), RandomString(rng, 40), std::move(inners),
+                         std::move(nums));
+  }
+  const size_t keys = rng.Below(6);
+  for (size_t i = 0; i < keys; ++i) {
+    std::vector<uint64_t>& vals = p.second[RandomString(rng, 12)];
+    const size_t n = rng.Below(4);
+    for (size_t j = 0; j < n; ++j) {
+      vals.push_back(rng.Next());
+    }
+  }
+  return p;
+}
+
+}  // namespace fuzz
+
+TEST(CodecFuzzTest, NestedPayloadsRoundTripAcrossManySeeds) {
+  constexpr uint64_t kCases = 1200;
+  for (uint64_t i = 0; i < kCases; ++i) {
+    Rng rng(HashCombine(0xC0DECULL, i));
+    fuzz::Payload p = fuzz::RandomPayload(rng);
+    std::vector<uint8_t> bytes = EncodeToBytes(p);
+    fuzz::Payload out;
+    ASSERT_TRUE(DecodeFromBytes(std::span<const uint8_t>(bytes), out)) << "case " << i;
+    ASSERT_EQ(out, p) << "case " << i;
+    // A few random truncations per case: strictly shorter prefixes never decode.
+    for (int t = 0; t < 4 && !bytes.empty(); ++t) {
+      const size_t cut = rng.Below(bytes.size());
+      fuzz::Payload rejected;
+      ASSERT_FALSE(
+          DecodeFromBytes(std::span<const uint8_t>(bytes.data(), cut), rejected))
+          << "case " << i << " cut " << cut;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace naiad
