@@ -9,6 +9,8 @@
 // the worker count.
 
 #include <atomic>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -104,8 +106,27 @@ double RawSocketGbps() {
 }  // namespace
 }  // namespace naiad
 
-int main() {
+int main(int argc, char** argv) {
   using namespace naiad;
+  // --small: reduced scale for the CI perf-smoke job (record-only artifact).
+  // --reps=N: repetitions per config (best run reported); baseline recordings use more.
+  bool small = false;
+  int reps_flag = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--small") {
+      small = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps_flag = std::atoi(argv[i] + 7);
+    }
+  }
+  const uint64_t records_per_worker = small ? 10000 : 100000;
+  const uint64_t rounds = small ? 5 : 20;
+  // Loopback throughput is scheduler-noisy; each config runs `reps` times and the best
+  // run is reported (the paper's cluster numbers are similarly best-case steady-state).
+  const int reps = reps_flag > 0 ? reps_flag : (small ? 1 : 3);
+  const std::vector<uint32_t> proc_counts = small ? std::vector<uint32_t>{1u, 2u}
+                                                  : std::vector<uint32_t>{1u, 2u, 4u};
   bench::Header("Fig. 6a", "all-to-all exchange throughput (§5.1)",
                 "aggregate throughput scales linearly with computers; Naiad sits below the "
                 "raw-socket line because 8-byte records maximize serialization overhead");
@@ -113,11 +134,31 @@ int main() {
   bench::Row("raw TCP socket baseline (loopback, 64KB writes): %.2f Gb/s", raw_gbps);
   bench::Row("%-10s %-9s %-14s %-16s %-14s", "processes", "workers", "records/s",
              "wire Gb/s", "seconds");
-  for (uint32_t procs : {1u, 2u, 4u}) {
-    Result r = RunExchange(procs, 2, /*records_per_worker=*/40000, /*rounds=*/10);
-    bench::Row("%-10u %-9u %-14.3e %-16.3f %-14.2f", procs, procs * 2,
-               r.records_moved / r.seconds, r.wire_bytes * 8 / r.seconds / 1e9, r.seconds);
+  bench::JsonReport json("fig6a");
+  json.Config("records_per_worker", static_cast<double>(records_per_worker));
+  json.Config("rounds", static_cast<double>(rounds));
+  json.Config("workers_per_process", 2);
+  json.Config("raw_socket_gbps", raw_gbps);
+  for (uint32_t procs : proc_counts) {
+    Result r = RunExchange(procs, 2, records_per_worker, rounds);
+    for (int rep = 1; rep < reps; ++rep) {
+      Result again = RunExchange(procs, 2, records_per_worker, rounds);
+      if (again.seconds < r.seconds) {
+        r = again;
+      }
+    }
+    const double rps = static_cast<double>(r.records_moved) / r.seconds;
+    const double gbps = static_cast<double>(r.wire_bytes) * 8 / r.seconds / 1e9;
+    bench::Row("%-10u %-9u %-14.3e %-16.3f %-14.2f", procs, procs * 2, rps, gbps,
+               r.seconds);
+    json.NewRow();
+    json.Num("processes", procs);
+    json.Num("workers", procs * 2);
+    json.Num("records_per_sec", rps);
+    json.Num("wire_gbps", gbps);
+    json.Num("seconds", r.seconds);
   }
+  json.Write();
   bench::Row("(single-process rows exchange through shared memory: wire Gb/s ~ 0)");
   return 0;
 }

@@ -1,16 +1,23 @@
 // Micro-benchmarks for the mechanisms §3 engineers around: serialization, progress
-// tracking (frontier evaluation vs active-set size), queue hand-off, and eventcount
-// wakeups. These quantify the design choices DESIGN.md calls out (O(active²) frontier
-// scans, batched MPSC drains, buffered progress flushes).
+// tracking (frontier evaluation vs active-set size), queue hand-off, eventcount
+// wakeups, and the SendBy→OnRecv exchange path (Outlet routing buffers, destination
+// bucketing, fan-out). These quantify the design choices DESIGN.md calls out (flat
+// routing buffers, O(active²) frontier scans, batched MPSC drains, buffered progress
+// flushes). Results are also written to BENCH_micro_core.json (see bench_util.h).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <memory>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "src/base/event_count.h"
 #include "src/base/mpsc_queue.h"
 #include "src/core/graph.h"
+#include "src/core/io.h"
 #include "src/core/progress.h"
+#include "src/core/stage.h"
 #include "src/ser/codec.h"
 
 namespace naiad {
@@ -135,7 +142,197 @@ void BM_EventCountSignal(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCountSignal);
 
+// ------------------------------------------------------------------------------------
+// Exchange-path microbenchmarks: the SendBy→OnRecv hot path Fig. 6a measures, in one
+// process so no TCP noise — InputHandle::RouteRecords bucketing, Outlet routing buffers,
+// DataItem dispatch, and per-bundle progress accumulation.
+// ------------------------------------------------------------------------------------
+
+// Re-sends every record through a partitioned route, one Send() per record.
+class ResendVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      output().Send(t, x + 1);
+    }
+  }
+};
+
+// Same, but forwards the whole batch at once (SendBatch bucketing path).
+class ResendBatchVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t& x : batch) {
+      x += 1;
+    }
+    output().SendBatch(t, std::move(batch));
+  }
+};
+
+// A one-worker pipeline input → resend (parallelism 4, hash exchange) → `sinks` ForEach
+// stages (fan-out when > 1), all exchanged by value.
+template <typename V>
+class ExchangeHarness {
+ public:
+  explicit ExchangeHarness(uint32_t sinks) : ctl_(Config{.workers_per_process = 1}) {
+    GraphBuilder b(ctl_);
+    auto [in, handle] = NewInput<uint64_t>(b);
+    handle_ = handle;
+    Partitioner<uint64_t> part = [](const uint64_t& x) { return x; };
+    StageId resend =
+        b.NewStage<V>(StageOptions{.name = "resend", .parallelism = 4},
+                      [](uint32_t) { return std::make_unique<V>(); });
+    b.Connect<V, uint64_t>(in, resend, 0, part);
+    for (uint32_t s = 0; s < sinks; ++s) {
+      probe_ = ForEach<uint64_t>(
+          b.OutputOf<uint64_t>(resend),
+          [this](const Timestamp&, std::vector<uint64_t>& r) {
+            sunk_.fetch_add(r.size(), std::memory_order_relaxed);
+          },
+          part);
+    }
+    ctl_.Start();
+  }
+  ~ExchangeHarness() {
+    handle_->OnCompleted();
+    ctl_.Join();
+  }
+
+  void RunEpoch(std::vector<uint64_t> batch) {
+    handle_->OnNext(std::move(batch));
+    probe_.WaitPassed(epoch_++);
+  }
+  uint64_t sunk() const { return sunk_.load(std::memory_order_relaxed); }
+
+ private:
+  Controller ctl_;
+  std::shared_ptr<InputHandle<uint64_t>> handle_;
+  Probe probe_;
+  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> sunk_{0};
+};
+
+std::vector<uint64_t> EpochBatch(size_t n) {
+  std::vector<uint64_t> batch(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch[i] = i;
+  }
+  return batch;
+}
+
+void BM_ExchangeSendPerRecord(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExchangeHarness<ResendVertex> h(/*sinks=*/1);
+  for (auto _ : state) {
+    h.RunEpoch(EpochBatch(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  benchmark::DoNotOptimize(h.sunk());
+}
+BENCHMARK(BM_ExchangeSendPerRecord)->Arg(8192)->UseRealTime();
+
+void BM_ExchangeSendBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExchangeHarness<ResendBatchVertex> h(/*sinks=*/1);
+  for (auto _ : state) {
+    h.RunEpoch(EpochBatch(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  benchmark::DoNotOptimize(h.sunk());
+}
+BENCHMARK(BM_ExchangeSendBatch)->Arg(8192)->UseRealTime();
+
+void BM_ExchangeFanout2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExchangeHarness<ResendVertex> h(/*sinks=*/2);
+  for (auto _ : state) {
+    h.RunEpoch(EpochBatch(n));
+  }
+  // Each record crosses the exchange once and is delivered to both sinks.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 2);
+  benchmark::DoNotOptimize(h.sunk());
+}
+BENCHMARK(BM_ExchangeFanout2)->Arg(8192)->UseRealTime();
+
+// Captures finished runs so main() can write BENCH_micro_core.json next to the console
+// table (the machine-readable perf trajectory; see EXPERIMENTS.md).
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    bool is_median = false;
+    double real_time_ns = 0;
+    double items_per_sec = 0;
+  };
+
+  // Under --benchmark_repetitions the per-iteration runs are noise; capture the median
+  // aggregate for each benchmark then, and fall back to the raw run otherwise.
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.error_occurred) {
+        continue;
+      }
+      const bool is_median =
+          r.run_type == Run::RT_Aggregate && r.aggregate_name == "median";
+      if (r.run_type != Run::RT_Iteration && !is_median) {
+        continue;
+      }
+      Captured c;
+      c.name = r.run_name.str();
+      c.is_median = is_median;
+      c.real_time_ns = r.GetAdjustedRealTime();
+      auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) {
+        c.items_per_sec = it->second.value;
+      }
+      captured.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  // One row per benchmark: the median aggregate when repetitions produced one, else the
+  // single raw run.
+  std::vector<Captured> Rows() const {
+    bool any_median = false;
+    for (const Captured& c : captured) {
+      any_median = any_median || c.is_median;
+    }
+    std::vector<Captured> rows;
+    for (const Captured& c : captured) {
+      if (c.is_median == any_median) {
+        rows.push_back(c);
+      }
+    }
+    return rows;
+  }
+
+  std::vector<Captured> captured;
+};
+
 }  // namespace
 }  // namespace naiad
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  naiad::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  naiad::bench::JsonReport json("micro_core");
+  json.Config("time_unit", "ns");
+  for (const auto& c : reporter.Rows()) {
+    json.NewRow();
+    json.Str("name", c.name);
+    json.Num("real_time_ns", c.real_time_ns);
+    if (c.items_per_sec > 0) {
+      json.Num("records_per_sec", c.items_per_sec);
+    }
+  }
+  json.Write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -85,14 +85,26 @@ class InputHandle {
     const ConnectorDef& def = ctl_->graph().connector(ch);
     const uint32_t parallelism = ctl_->graph().stage(def.dst).parallelism;
     const auto* part = std::any_cast<Partitioner<T>>(&def.partitioner);
-    if (part != nullptr) {
-      std::map<uint32_t, std::vector<T>> by_dst;
+    if (part != nullptr && parallelism == 1) {
+      // One destination: the partition function cannot change the answer.
+      ctl_->RouteBundle<T>(ch, 0, t, std::move(recs), progress_, nullptr);
+    } else if (part != nullptr) {
+      // Flat destination buckets (destination counts are small and dense); one pass to
+      // bucket, one to ship — no per-record ordered-map lookup, and power-of-two
+      // parallelism partitions with a mask instead of a divide.
+      std::vector<std::vector<T>> by_dst(parallelism);
+      const uint32_t mask =
+          (parallelism & (parallelism - 1)) == 0 ? parallelism - 1 : 0;
       for (T& rec : recs) {
-        const uint32_t dstv = static_cast<uint32_t>((*part)(rec) % parallelism);
+        const uint64_t key = (*part)(rec);
+        const uint32_t dstv = mask != 0 ? static_cast<uint32_t>(key & mask)
+                                        : static_cast<uint32_t>(key % parallelism);
         by_dst[dstv].push_back(std::move(rec));
       }
-      for (auto& [dstv, chunk] : by_dst) {
-        ctl_->RouteBundle<T>(ch, dstv, t, std::move(chunk), progress_, nullptr);
+      for (uint32_t dstv = 0; dstv < parallelism; ++dstv) {
+        if (!by_dst[dstv].empty()) {
+          ctl_->RouteBundle<T>(ch, dstv, t, std::move(by_dst[dstv]), progress_, nullptr);
+        }
       }
     } else {
       // Spread the epoch's records over the stage's vertices in contiguous chunks,

@@ -19,6 +19,7 @@
 #ifndef SRC_CORE_PROGRESS_H_
 #define SRC_CORE_PROGRESS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -56,17 +57,64 @@ struct ProgressUpdate {
 // Per-worker accumulation of deltas within a callback / dispatch step. Take() combines
 // updates with equal pointstamps and orders positive deltas before negative ones, as §3.3
 // requires of broadcast updates.
+//
+// The accumulator is a small open-addressed (linear-probing) table sized to the active
+// pointstamp set — Add() is the per-bundle hot path (one call per routed bundle and per
+// delivered callback), so it must not pay an ordered-map node allocation and pointer
+// chase per delta. The table only ever grows (entries are combined in place and cleared
+// wholesale by Take()), so probe chains never contain tombstones. Take() sorts each sign
+// group, preserving the ordered-map output order the fault-injection harness replays.
 class ProgressBuffer {
  public:
   void Add(const Pointstamp& p, int64_t delta) {
-    if (delta != 0) {
-      acc_[p] += delta;
+    if (delta == 0) {
+      return;
+    }
+    // Consecutive deltas overwhelmingly hit the same pointstamp (a flush accumulates one
+    // delta per bundle of the same (connector, time), and every delivered bundle retires
+    // against the pointstamp it arrived on), so a one-entry cache skips the hash.
+    if (last_ < slots_.size()) {
+      Slot& s = slots_[last_];
+      if (s.used && s.point == p) {
+        s.delta += delta;
+        return;
+      }
+    }
+    if (slots_.empty()) {
+      slots_.resize(kInitialSlots);
+    }
+    const uint64_t h = HashOf(p);
+    size_t mask = slots_.size() - 1;
+    size_t i = h & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.hash = h;
+        s.point = p;
+        s.delta = delta;
+        ++used_;
+        last_ = i;
+        if (used_ * 4 >= slots_.size() * 3) {
+          Grow();  // invalidates last_
+        }
+        return;
+      }
+      if (s.hash == h && s.point == p) {
+        s.delta += delta;
+        last_ = i;
+        return;
+      }
+      i = (i + 1) & mask;
     }
   }
 
   bool Empty() const {
-    for (const auto& [p, d] : acc_) {
-      if (d != 0) {
+    if (used_ == 0) {
+      return true;
+    }
+    for (const Slot& s : slots_) {
+      if (s.used && s.delta != 0) {
         return false;
       }
     }
@@ -75,23 +123,70 @@ class ProgressBuffer {
 
   std::vector<ProgressUpdate> Take() {
     std::vector<ProgressUpdate> out;
-    out.reserve(acc_.size());
-    for (const auto& [p, d] : acc_) {
-      if (d > 0) {
-        out.push_back(ProgressUpdate{p, d});
+    out.reserve(used_);
+    for (const Slot& s : slots_) {
+      if (s.used && s.delta > 0) {
+        out.push_back(ProgressUpdate{s.point, s.delta});
       }
     }
-    for (const auto& [p, d] : acc_) {
-      if (d < 0) {
-        out.push_back(ProgressUpdate{p, d});
+    const size_t positives = out.size();
+    for (Slot& s : slots_) {
+      if (s.used && s.delta < 0) {
+        out.push_back(ProgressUpdate{s.point, s.delta});
       }
+      s.used = false;
     }
-    acc_.clear();
+    used_ = 0;
+    last_ = static_cast<size_t>(-1);
+    // Deterministic output (the ordered-map order): sort within each sign group.
+    auto by_point = [](const ProgressUpdate& a, const ProgressUpdate& b) {
+      return a.point < b.point;
+    };
+    std::sort(out.begin(), out.begin() + static_cast<ptrdiff_t>(positives), by_point);
+    std::sort(out.begin() + static_cast<ptrdiff_t>(positives), out.end(), by_point);
     return out;
   }
 
  private:
-  std::map<Pointstamp, int64_t> acc_;
+  static constexpr size_t kInitialSlots = 16;  // power of two
+
+  struct Slot {
+    Pointstamp point;
+    uint64_t hash = 0;
+    int64_t delta = 0;
+    bool used = false;
+  };
+
+  // One multiply-accumulate per coordinate and a single final mix — cheaper than the
+  // general Pointstamp::Hash and strong enough for a small power-of-two table.
+  static uint64_t HashOf(const Pointstamp& p) {
+    uint64_t h = p.time.epoch;
+    for (uint64_t c : p.time.coords) {
+      h = h * 0x9e3779b97f4a7c15ull + c;
+    }
+    return Mix64(h ^ ((uint64_t(p.loc.id) << 1) | uint64_t(p.loc.kind)));
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (!s.used) {
+        continue;
+      }
+      size_t i = s.hash & mask;
+      while (slots_[i].used) {
+        i = (i + 1) & mask;
+      }
+      slots_[i] = std::move(s);
+    }
+    last_ = static_cast<size_t>(-1);
+  }
+
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+  size_t last_ = static_cast<size_t>(-1);  // slot touched by the previous Add
 };
 
 class ProgressTracker {

@@ -14,10 +14,8 @@
 #define SRC_CORE_STAGE_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -107,6 +105,13 @@ void Controller::RouteBundle(ConnectorId ch, uint32_t dst_vertex, const Timestam
 
 // ------------------------------------------------------------------------------------
 // Outlet: a vertex's typed output port with per-destination buffering (SendBy; §2.2).
+//
+// The routing buffers are flat per-route × per-destination arrays (no per-record ordered
+// lookup): since a callback overwhelmingly sends at a single (adjusted) timestamp, the
+// outlet keeps a single-entry timestamp cache and flushes everything on a cache miss
+// rather than keying buffers by time. Buffers reserve(batch_size) on first use, and
+// fan-out to multiple routes copies records for all routes but the last, which takes the
+// record by move.
 // ------------------------------------------------------------------------------------
 
 template <typename T>
@@ -125,29 +130,32 @@ class Outlet {
     vertex_ = v;
     action_ = action;
     feedback_limit_ = feedback_limit;
+    batch_size_ = ctl->config().batch_size;
   }
-  void AddRoute(Route r) { routes_.push_back(r); }
+  void AddRoute(Route r) {
+    routes_.push_back(r);
+    RouteBuffers rb;
+    rb.by_dst.resize(r.dst_parallelism);
+    // Destination dispatch is decided once here, not per record: a route with no
+    // partitioner always targets the vertex-aligned destination, one destination needs
+    // no partitioning at all, and a power-of-two parallelism partitions with a mask
+    // instead of a hardware divide.
+    if (r.partitioner == nullptr) {
+      rb.const_dstv =
+          static_cast<int64_t>(vertex_->address().index % r.dst_parallelism);
+    } else if (r.dst_parallelism == 1) {
+      rb.const_dstv = 0;
+    } else if ((r.dst_parallelism & (r.dst_parallelism - 1)) == 0) {
+      rb.mask = r.dst_parallelism - 1;
+    }
+    bufs_.push_back(std::move(rb));
+  }
   bool wired() const { return ctl_ != nullptr; }
   size_t route_count() const { return routes_.size(); }
 
   // SendBy(e, m, t): buffers `rec` for delivery at (the stage-action-adjusted) time t.
-  void Send(const Timestamp& t, const T& rec) {
-    NAIAD_DCHECK(wired());
-    Timestamp adj = Adjust(t);
-    if (Dropped(adj)) {
-      return;
-    }
-    CheckNotPast(t);
-    for (uint32_t i = 0; i < routes_.size(); ++i) {
-      const Route& r = routes_[i];
-      const uint32_t dstv = DestVertex(r, rec);
-      std::vector<T>& buf = buffers_[std::make_tuple(i, dstv, adj)];
-      buf.push_back(rec);
-      if (buf.size() >= ctl_->config().batch_size) {
-        FlushOne(i, dstv, adj);
-      }
-    }
-  }
+  void Send(const Timestamp& t, const T& rec) { SendImpl(t, rec); }
+  void Send(const Timestamp& t, T&& rec) { SendImpl(t, std::move(rec)); }
 
   void SendBatch(const Timestamp& t, std::vector<T>&& recs) {
     if (recs.empty()) {
@@ -158,44 +166,149 @@ class Outlet {
       return;
     }
     CheckNotPast(t);
+    if (routes_.empty()) {
+      return;
+    }
     // Fast path: a single non-partitioned route can forward the whole batch.
-    if (routes_.size() == 1 && routes_[0].partitioner == nullptr && buffers_.empty()) {
+    if (routes_.size() == 1 && routes_[0].partitioner == nullptr && buffered_ == 0) {
       const uint32_t dstv = DestVertex(routes_[0], recs.front());
       ctl_->RouteBundle<T>(routes_[0].ch, dstv, adj, std::move(recs),
                            vertex_->worker().progress(), &vertex_->worker());
       return;
     }
-    for (const T& rec : recs) {
-      for (uint32_t i = 0; i < routes_.size(); ++i) {
-        const Route& r = routes_[i];
-        const uint32_t dstv = DestVertex(r, rec);
-        std::vector<T>& buf = buffers_[std::make_tuple(i, dstv, adj)];
-        buf.push_back(rec);
-        if (buf.size() >= ctl_->config().batch_size) {
-          FlushOne(i, dstv, adj);
-        }
+    SwitchTime(adj);
+    const uint32_t last = static_cast<uint32_t>(routes_.size()) - 1;
+    for (uint32_t i = 0; i < last; ++i) {
+      for (const T& rec : recs) {
+        Append(i, T(rec));
       }
+    }
+    for (T& rec : recs) {
+      Append(last, std::move(rec));
     }
   }
 
-  void Flush() {
-    if (buffers_.empty()) {
+  void Flush() { FlushAll(); }
+
+ private:
+  // Buffered records for one route, indexed by destination vertex. `active` lists the
+  // destinations with buffered records in first-use order, so a flush never scans the
+  // (possibly wide) destination array. `const_dstv` / `mask` carry the destination
+  // dispatch precomputed in AddRoute.
+  struct RouteBuffers {
+    std::vector<std::vector<T>> by_dst;
+    std::vector<uint32_t> active;
+    int64_t const_dstv = -1;  // >= 0: every record goes to this destination
+    uint32_t mask = 0;        // nonzero: dst = key & mask (power-of-two parallelism)
+  };
+
+  uint32_t DestOf(const RouteBuffers& rb, uint32_t route_idx, const T& rec) const {
+    if (rb.const_dstv >= 0) {
+      return static_cast<uint32_t>(rb.const_dstv);
+    }
+    const Route& r = routes_[route_idx];
+    const uint64_t key = (*r.partitioner)(rec);
+    return rb.mask != 0 ? static_cast<uint32_t>(key & rb.mask)
+                        : static_cast<uint32_t>(key % r.dst_parallelism);
+  }
+
+  template <typename U>
+  void SendImpl(const Timestamp& t, U&& rec) {
+    NAIAD_DCHECK(wired());
+    Timestamp adj = Adjust(t);
+    if (Dropped(adj)) {
       return;
     }
-    // Move the map out first: RouteBundle may re-enter this vertex (re-entrancy) and send.
-    auto pending = std::move(buffers_);
-    buffers_.clear();
-    for (auto& [key, recs] : pending) {
-      if (recs.empty()) {
+    CheckNotPast(t);
+    if (routes_.empty()) {
+      return;
+    }
+    SwitchTime(adj);
+    const uint32_t last = static_cast<uint32_t>(routes_.size()) - 1;
+    for (uint32_t i = 0; i < last; ++i) {
+      Append(i, T(rec));  // fan-out copy; the last route below consumes `rec`
+    }
+    Append(last, std::forward<U>(rec));
+  }
+
+  // All buffered records share cached_time_; a send at a different time flushes first
+  // (single-entry timestamp cache — callbacks overwhelmingly send at one time).
+  void SwitchTime(const Timestamp& adj) {
+    if (has_time_ && adj == cached_time_) {
+      return;
+    }
+    if (buffered_ > 0) {
+      FlushAll();
+    }
+    cached_time_ = adj;
+    has_time_ = true;
+  }
+
+  template <typename U>
+  void Append(uint32_t route_idx, U&& rec) {
+    RouteBuffers& rb = bufs_[route_idx];
+    const uint32_t dstv = DestOf(rb, route_idx, rec);
+    std::vector<T>& buf = rb.by_dst[dstv];
+    if (buf.empty()) {
+      rb.active.push_back(dstv);
+      if (buf.capacity() == 0) {
+        buf.reserve(batch_size_);
+      }
+    }
+    buf.push_back(std::forward<U>(rec));
+    ++buffered_;
+    if (buf.size() >= batch_size_) {
+      FlushOne(route_idx, dstv);
+    }
+  }
+
+  void FlushOne(uint32_t route_idx, uint32_t dstv) {
+    RouteBuffers& rb = bufs_[route_idx];
+    // Detach before routing: RouteBundle may re-enter this vertex (§3.2) and send.
+    std::vector<T> recs = std::move(rb.by_dst[dstv]);
+    rb.by_dst[dstv].clear();
+    std::erase(rb.active, dstv);
+    if (recs.empty()) {
+      return;
+    }
+    buffered_ -= recs.size();
+    const Timestamp t = cached_time_;  // re-entrant sends may retarget the cache
+    ctl_->RouteBundle<T>(routes_[route_idx].ch, dstv, t, std::move(recs),
+                         vertex_->worker().progress(), &vertex_->worker());
+  }
+
+  void FlushAll() {
+    has_time_ = false;
+    if (buffered_ == 0) {
+      return;
+    }
+    buffered_ = 0;
+    const Timestamp t = cached_time_;
+    // Detach every pending buffer first: RouteBundle may re-enter this vertex
+    // (re-entrancy, §3.2) and buffer new records mid-flush.
+    struct Pending {
+      uint32_t route;
+      uint32_t dstv;
+      std::vector<T> recs;
+    };
+    std::vector<Pending> pending;
+    for (uint32_t i = 0; i < routes_.size(); ++i) {
+      RouteBuffers& rb = bufs_[i];
+      for (uint32_t dstv : rb.active) {
+        pending.push_back(Pending{i, dstv, std::move(rb.by_dst[dstv])});
+        rb.by_dst[dstv].clear();
+      }
+      rb.active.clear();
+    }
+    for (Pending& p : pending) {
+      if (p.recs.empty()) {
         continue;
       }
-      const auto& [route_idx, dstv, t] = key;
-      ctl_->RouteBundle<T>(routes_[route_idx].ch, dstv, t, std::move(recs),
+      ctl_->RouteBundle<T>(routes_[p.route].ch, p.dstv, t, std::move(p.recs),
                            vertex_->worker().progress(), &vertex_->worker());
     }
   }
 
- private:
   Timestamp Adjust(const Timestamp& t) const {
     switch (action_) {
       case TimestampAction::kNone:
@@ -237,23 +350,16 @@ class Outlet {
     return vertex_->address().index % r.dst_parallelism;  // local-ish delivery (§3.1)
   }
 
-  void FlushOne(uint32_t route_idx, uint32_t dstv, const Timestamp& t) {
-    auto it = buffers_.find(std::make_tuple(route_idx, dstv, t));
-    if (it == buffers_.end() || it->second.empty()) {
-      return;
-    }
-    std::vector<T> recs = std::move(it->second);
-    buffers_.erase(it);
-    ctl_->RouteBundle<T>(routes_[route_idx].ch, dstv, t, std::move(recs),
-                         vertex_->worker().progress(), &vertex_->worker());
-  }
-
   Controller* ctl_ = nullptr;
   VertexBase* vertex_ = nullptr;
   TimestampAction action_ = TimestampAction::kNone;
   uint64_t feedback_limit_ = 0;
   std::vector<Route> routes_;
-  std::map<std::tuple<uint32_t, uint32_t, Timestamp>, std::vector<T>> buffers_;
+  std::vector<RouteBuffers> bufs_;  // parallel to routes_
+  Timestamp cached_time_;
+  bool has_time_ = false;
+  size_t buffered_ = 0;  // total records across all route buffers, all at cached_time_
+  size_t batch_size_ = 4096;  // cached from Config in Configure()
 };
 
 // ------------------------------------------------------------------------------------

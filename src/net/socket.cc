@@ -58,6 +58,72 @@ bool Socket::WriteAll(std::span<const uint8_t> data) {
   return true;
 }
 
+bool Socket::WritevAll(std::span<const iovec> iov) {
+  // Working copy advanced in place as bytes drain; `idx` is the first unfinished entry.
+  std::vector<iovec> rest(iov.begin(), iov.end());
+  size_t idx = 0;
+  size_t remaining = 0;
+  for (const iovec& v : iov) {
+    remaining += v.iov_len;
+  }
+  while (remaining > 0) {
+    while (idx < rest.size() && rest[idx].iov_len == 0) {
+      ++idx;
+    }
+    size_t want = remaining;
+    if (write_faults_ != nullptr) {
+      WriteStep step = write_faults_->Next(remaining);
+      for (uint32_t z = 0; z < step.zero_writes; ++z) {
+        ssize_t n = ::send(fd_, rest[idx].iov_base, 0, MSG_NOSIGNAL);
+        if (n < 0 && errno != EINTR) {
+          return false;
+        }
+      }
+      if (step.delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(step.delay_us));
+      }
+      want = std::min(want, std::max<size_t>(1, step.max_len));
+    }
+    // Gather up to `want` bytes starting at `idx`, trimming the final entry — an injected
+    // partial write may stop inside any frame of the batch.
+    iovec chunk[64];
+    size_t cnt = 0;
+    size_t left = want;
+    for (size_t i = idx; i < rest.size() && cnt < 64 && left > 0; ++i) {
+      chunk[cnt] = rest[i];
+      if (chunk[cnt].iov_len > left) {
+        chunk[cnt].iov_len = left;
+      }
+      left -= chunk[cnt].iov_len;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = chunk;
+    msg.msg_iovlen = cnt;
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    remaining -= static_cast<size_t>(n);
+    size_t adv = static_cast<size_t>(n);
+    while (adv > 0) {
+      if (rest[idx].iov_len <= adv) {
+        adv -= rest[idx].iov_len;
+        rest[idx].iov_len = 0;
+        ++idx;
+      } else {
+        rest[idx].iov_base = static_cast<uint8_t*>(rest[idx].iov_base) + adv;
+        rest[idx].iov_len -= adv;
+        adv = 0;
+      }
+    }
+  }
+  return true;
+}
+
 bool Socket::ReadAll(std::span<uint8_t> data) {
   size_t off = 0;
   while (off < data.size()) {

@@ -9,6 +9,8 @@
 #ifndef SRC_NET_SOCKET_H_
 #define SRC_NET_SOCKET_H_
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -55,6 +57,11 @@ class Socket {
 
   // Writes the whole buffer; returns false on error/peer close.
   bool WriteAll(std::span<const uint8_t> data);
+  // Gathered write: transmits every iovec in order with as few syscalls as the kernel
+  // allows; returns false on error/peer close. Write faults apply exactly as in WriteAll
+  // (each attempt is capped by the step's max_len, so injected partial writes can tear
+  // across iovec boundaries).
+  bool WritevAll(std::span<const iovec> iov);
   // Reads exactly data.size() bytes; returns false on EOF/error.
   bool ReadAll(std::span<uint8_t> data);
 

@@ -93,16 +93,15 @@ void TcpTransport::AcceptorMain() {
   }
 }
 
-std::vector<uint8_t> TcpTransport::MakeFrame(FrameType type,
-                                             std::span<const uint8_t> payload) const {
-  std::vector<uint8_t> frame;
-  frame.reserve(payload.size() + 9);
-  ByteWriter w(&frame);
+void TcpTransport::FrameInto(std::vector<uint8_t>& out, FrameType type,
+                             std::span<const uint8_t> payload) const {
+  out.clear();
+  out.reserve(payload.size() + 9);
+  ByteWriter w(&out);
   w.WriteU32(static_cast<uint32_t>(payload.size()));
   w.WriteU8(static_cast<uint8_t>(type));
   w.WriteU32(pid_);
   w.WriteBytes(payload.data(), payload.size());
-  return frame;
 }
 
 void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload) {
@@ -112,10 +111,19 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
     Dispatch(type, pid_, payload);
     return;
   }
-  std::vector<uint8_t> frame = MakeFrame(type, payload);
-  frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_[static_cast<size_t>(type)].fetch_add(frame.size(), std::memory_order_relaxed);
   SendLink& link = *send_links_[dst];
+  OutFrame frame;
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (!link.free_frames.empty()) {
+      frame.owned = std::move(link.free_frames.back());
+      link.free_frames.pop_back();
+    }
+  }
+  FrameInto(frame.owned, type, payload);
+  frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_[static_cast<size_t>(type)].fetch_add(frame.owned.size(),
+                                                   std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(link.mu);
     if (link.closed) {
@@ -128,11 +136,32 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
 
 void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload,
                                   bool include_self) {
+  // Frame once; every remote link enqueues the same immutable buffer instead of
+  // re-serializing the header + payload per peer.
+  std::shared_ptr<std::vector<uint8_t>> frame;
   for (uint32_t p = 0; p < nprocs_; ++p) {
-    if (p == pid_ && !include_self) {
+    if (p == pid_) {
+      if (include_self) {
+        Dispatch(type, pid_, payload);
+      }
       continue;
     }
-    Send(p, type, payload);
+    if (frame == nullptr) {
+      frame = std::make_shared<std::vector<uint8_t>>();
+      FrameInto(*frame, type, payload);
+    }
+    frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size(),
+                                                     std::memory_order_relaxed);
+    SendLink& link = *send_links_[p];
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      if (link.closed) {
+        continue;
+      }
+      link.queue.push_back(OutFrame{.owned = {}, .shared = frame});
+    }
+    link.cv.notify_one();
   }
 }
 
@@ -155,36 +184,83 @@ void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_
   NAIAD_CHECK(false);
 }
 
+bool TcpTransport::WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin,
+                            size_t end) {
+  if (begin >= end) {
+    return true;
+  }
+  std::vector<iovec> iov;
+  iov.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    std::span<const uint8_t> b = batch[i].bytes();
+    iov.push_back(iovec{.iov_base = const_cast<uint8_t*>(b.data()), .iov_len = b.size()});
+  }
+  return link.socket.WritevAll(iov);
+}
+
+void TcpTransport::ResetLink(uint32_t dst, SendLink& link) {
+  // Reset at a frame boundary: every previously queued frame was fully written, so the
+  // peer's receiver drains to EOF between frames and resumes on the replacement
+  // connection — FIFO and framing both preserved.
+  link.socket.Close();
+  Socket s = DialPeer(dst);
+  if (s.valid()) {
+    s.SetWriteFaults(link.faults);
+    link.socket = std::move(s);
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
   uint64_t frame_index = 0;
+  std::vector<OutFrame> batch;
   for (;;) {
-    std::vector<uint8_t> frame;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(link.mu);
       link.cv.wait(lock, [&] { return link.closed || !link.queue.empty(); });
       if (link.queue.empty()) {
         return;  // closed and drained
       }
-      frame = std::move(link.queue.front());
-      link.queue.pop_front();
-    }
-    if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire) &&
-        link.faults->ShouldResetBefore(frame_index)) {
-      // Reset at a frame boundary: every previously queued frame was fully written, so the
-      // peer's receiver drains to EOF between frames and resumes on the replacement
-      // connection — FIFO and framing both preserved.
-      link.socket.Close();
-      Socket s = DialPeer(dst);
-      if (s.valid()) {
-        s.SetWriteFaults(link.faults);
-        link.socket = std::move(s);
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      // Drain everything queued under one lock acquisition; the whole batch then goes to
+      // the socket as (at most a few) gathered writes instead of one write per frame.
+      while (!link.queue.empty()) {
+        batch.push_back(std::move(link.queue.front()));
+        link.queue.pop_front();
       }
     }
-    if (!link.socket.WriteAll(frame)) {
+    // Split the batch into maximal runs at fault-injected reset points. The hook is
+    // stateful, so each frame index is consulted exactly once, in order; a reset lands
+    // before the frame whose consultation requested it, exactly as in the
+    // frame-at-a-time path.
+    size_t run_start = 0;
+    bool ok = true;
+    for (size_t k = 0; k < batch.size() && ok; ++k) {
+      if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire) &&
+          link.faults->ShouldResetBefore(frame_index + k)) {
+        ok = WriteRun(link, batch, run_start, k);
+        if (ok) {
+          ResetLink(dst, link);
+          run_start = k;
+        }
+      }
+    }
+    if (!ok || !WriteRun(link, batch, run_start, batch.size())) {
       return;  // peer went away during shutdown
     }
-    ++frame_index;
+    frame_index += batch.size();
+    // Recycle the drained point-to-point buffers so the next Send() call on this link
+    // reuses them instead of allocating.
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      for (OutFrame& f : batch) {
+        if (f.shared == nullptr && f.owned.capacity() > 0 &&
+            link.free_frames.size() < kMaxFreeFrames) {
+          f.owned.clear();
+          link.free_frames.push_back(std::move(f.owned));
+        }
+      }
+    }
   }
 }
 

@@ -90,12 +90,31 @@ class TcpTransport final : public DataTransport {
   uint32_t processes() const { return nprocs_; }
 
  private:
-  // Outbound half: the connection we dialed to the peer, fed by a FIFO queue.
+  // Per-link cap on recycled frame buffers; beyond this, drained buffers are freed.
+  static constexpr size_t kMaxFreeFrames = 64;
+
+  // One queued, fully framed wire frame. Point-to-point sends own their buffer (recycled
+  // through the link's free list after the write); broadcasts share a single immutable
+  // framed buffer across all links.
+  struct OutFrame {
+    std::vector<uint8_t> owned;
+    std::shared_ptr<const std::vector<uint8_t>> shared;
+    std::span<const uint8_t> bytes() const {
+      return shared != nullptr ? std::span<const uint8_t>(*shared)
+                               : std::span<const uint8_t>(owned);
+    }
+  };
+
+  // Outbound half: the connection we dialed to the peer, fed by a FIFO queue. The sender
+  // thread drains the whole queue per wakeup and writes it as one gathered batch;
+  // `free_frames` recycles the drained buffers back to Send() so the steady state
+  // allocates nothing per frame.
   struct SendLink {
     Socket socket;
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::vector<uint8_t>> queue;  // fully framed bytes
+    std::deque<OutFrame> queue;
+    std::vector<std::vector<uint8_t>> free_frames;
     bool closed = false;
     std::thread sender;
     LinkFaultHook* faults = nullptr;  // owned by the fault plan
@@ -120,7 +139,12 @@ class TcpTransport final : public DataTransport {
   void ReceiverMain(uint32_t src, RecvLink& link);
   // Dials `dst` and writes the identifying handshake; invalid Socket on failure.
   Socket DialPeer(uint32_t dst);
-  std::vector<uint8_t> MakeFrame(FrameType type, std::span<const uint8_t> payload) const;
+  void FrameInto(std::vector<uint8_t>& out, FrameType type,
+                 std::span<const uint8_t> payload) const;
+  // Writes frames [begin, end) of `batch` as one gathered write (iovec batch).
+  bool WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin, size_t end);
+  // Closes `link`'s connection and transparently re-dials (fault-injected reset).
+  void ResetLink(uint32_t dst, SendLink& link);
 
   uint32_t pid_;
   uint32_t nprocs_;

@@ -431,5 +431,288 @@ TEST(RuntimeTest, ManyWorkersManyEpochsDrainCleanly) {
   EXPECT_EQ(count.load(), 100u * kEpochs);
 }
 
+// ------------------------------------------------------------------------------------
+// Exchange-path batching edge cases: the Outlet's flat per-(route, destination) buffers,
+// its single-entry timestamp cache, flush re-entrancy, and fan-out copy accounting.
+// ------------------------------------------------------------------------------------
+
+// Forwards records one Send() at a time so the Outlet's auto-batching picks the bundles.
+class ForwardVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t& x : batch) {
+      output().Send(t, std::move(x));
+    }
+  }
+};
+
+TEST(RuntimeTest, OutletFlushesAtExactlyBatchSize) {
+  Controller ctl(Config{.workers_per_process = 1, .batch_size = 8});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  StageId fwd = b.NewStage<ForwardVertex>(
+      StageOptions{.name = "forward", .parallelism = 1},
+      [](uint32_t) { return std::make_unique<ForwardVertex>(); });
+  b.Connect<ForwardVertex, uint64_t>(in, fwd, 0, [](const uint64_t&) { return 0ul; });
+  std::mutex mu;
+  std::multiset<size_t> bundle_sizes;
+  ForEach<uint64_t>(
+      b.OutputOf<uint64_t>(fwd),
+      [&](const Timestamp&, std::vector<uint64_t>& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        bundle_sizes.insert(r.size());
+      },
+      [](const uint64_t&) { return 0ul; });
+  ctl.Start();
+  std::vector<uint64_t> data(20);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = i;
+  }
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  // 20 records to one destination with batch_size 8: two bundles flush eagerly at
+  // exactly the batch size; the remainder flushes at end-of-callback.
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(bundle_sizes, (std::multiset<size_t>{4, 8, 8}));
+}
+
+// Alternates between two timestamps within one callback. Every switch falls out of the
+// Outlet's single-entry timestamp cache and must flush what is buffered; no bundle may
+// mix timestamps and no record may be lost.
+class AlternatingTimeVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    const Timestamp next(t.epoch + 1);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      output().Send(i % 2 == 0 ? t : next, batch[i]);
+    }
+  }
+};
+
+TEST(RuntimeTest, OutletInterleavedTimestampsFlushTheCacheAndDeliverAll) {
+  Controller ctl(Config{.workers_per_process = 1, .batch_size = 64});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  StageId alt = b.NewStage<AlternatingTimeVertex>(
+      StageOptions{.name = "alternate", .parallelism = 1},
+      [](uint32_t) { return std::make_unique<AlternatingTimeVertex>(); });
+  b.Connect<AlternatingTimeVertex, uint64_t>(in, alt, 0,
+                                             [](const uint64_t&) { return 0ul; });
+  std::mutex mu;
+  std::map<uint64_t, size_t> per_epoch;
+  size_t bundles = 0;
+  ForEach<uint64_t>(
+      b.OutputOf<uint64_t>(alt),
+      [&](const Timestamp& t, std::vector<uint64_t>& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        per_epoch[t.epoch] += r.size();
+        ++bundles;
+      },
+      [](const uint64_t&) { return 0ul; });
+  ctl.Start();
+  std::vector<uint64_t> data(10);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = i;
+  }
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  std::lock_guard<std::mutex> lock(mu);
+  // Each of the 10 sends switches timestamp, so each flushes the single buffered record:
+  // 10 bundles of one record, alternating between epoch 0 and epoch 1.
+  EXPECT_EQ(per_epoch[0], 5u);
+  EXPECT_EQ(per_epoch[1], 5u);
+  EXPECT_EQ(bundles, 10u);
+}
+
+// Re-enters OnRecv from inside an explicit Flush() while the other output still holds
+// buffered records; the detach-before-route flush must neither lose nor duplicate them.
+class ReentrantEmitVertex final : public Unary2Vertex<uint64_t, uint64_t, uint64_t> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>& batch) override {
+    for (uint64_t x : batch) {
+      output2().Send(t, x);  // stays buffered across the re-entrant frames below
+      if (x > 0) {
+        output1().Send(t, x - 1);
+        output1().Flush();  // possibly re-enters OnRecv with x - 1
+      }
+    }
+  }
+};
+
+TEST(RuntimeTest, OutletReentrantSendsDuringFlushKeepEveryRecord) {
+  Controller ctl(Config{.workers_per_process = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  LoopContext loop(b, 0);
+  FeedbackHandle<uint64_t> fb = loop.NewFeedback<uint64_t>();
+  Stream<uint64_t> entered = loop.Ingress<uint64_t>(in);
+  StageId body = b.NewStage<ReentrantEmitVertex>(
+      StageOptions{.name = "reemit", .depth = 1, .parallelism = 1, .reentrancy = 8},
+      [](uint32_t) { return std::make_unique<ReentrantEmitVertex>(); });
+  b.Connect<ReentrantEmitVertex, uint64_t>(entered, body);
+  b.Connect<ReentrantEmitVertex, uint64_t>(fb.stream(), body);
+  fb.ConnectLoop(b.OutputOf<uint64_t>(body, 0));
+  Stream<uint64_t> done = loop.Egress<uint64_t>(b.OutputOf<uint64_t>(body, 1));
+
+  std::mutex mu;
+  std::multiset<uint64_t> emitted;
+  Subscribe<uint64_t>(done, [&](uint64_t, std::vector<uint64_t>& recs) {
+    std::lock_guard<std::mutex> lock(mu);
+    emitted.insert(recs.begin(), recs.end());
+  });
+
+  ctl.Start();
+  handle->OnNext({12});
+  handle->OnCompleted();
+  ctl.Join();
+  std::lock_guard<std::mutex> lock(mu);
+  std::multiset<uint64_t> expect;
+  for (uint64_t v = 0; v <= 12; ++v) {
+    expect.insert(v);
+  }
+  EXPECT_EQ(emitted, expect);
+}
+
+TEST(RuntimeTest, OutletMultiRouteFanoutDeliversFullCountToEveryRoute) {
+  Controller ctl(Config{.workers_per_process = 2});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  StageId fwd = b.NewStage<ForwardVertex>(
+      StageOptions{.name = "forward"},
+      [](uint32_t) { return std::make_unique<ForwardVertex>(); });
+  b.Connect<ForwardVertex, uint64_t>(in, fwd, 0, [](const uint64_t& x) { return x; });
+  constexpr int kSinks = 3;
+  std::atomic<uint64_t> counts[kSinks] = {};
+  std::atomic<uint64_t> sums[kSinks] = {};
+  for (int s = 0; s < kSinks; ++s) {
+    ForEach<uint64_t>(
+        b.OutputOf<uint64_t>(fwd),
+        [&, s](const Timestamp&, std::vector<uint64_t>& r) {
+          counts[s].fetch_add(r.size());
+          for (uint64_t v : r) {
+            sums[s].fetch_add(v);
+          }
+        },
+        [](const uint64_t& x) { return x; });
+  }
+  ctl.Start();
+  constexpr uint64_t kRecords = 100;
+  std::vector<uint64_t> data(kRecords);
+  uint64_t expect_sum = 0;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    data[i] = i;
+    expect_sum += i;
+  }
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  for (int s = 0; s < kSinks; ++s) {
+    EXPECT_EQ(counts[s].load(), kRecords) << "sink " << s;
+    EXPECT_EQ(sums[s].load(), expect_sum) << "sink " << s;
+  }
+}
+
+// A record type that counts copy-constructions (moves are free), to pin down the
+// move-into-last-connector contract of both fan-out paths.
+struct CountedRec {
+  uint64_t key = 0;
+  static std::atomic<uint64_t> copies;
+
+  CountedRec() = default;
+  explicit CountedRec(uint64_t k) : key(k) {}
+  CountedRec(const CountedRec& o) : key(o.key) {
+    copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  CountedRec& operator=(const CountedRec& o) {
+    key = o.key;
+    copies.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  CountedRec(CountedRec&&) noexcept = default;
+  CountedRec& operator=(CountedRec&&) noexcept = default;
+};
+std::atomic<uint64_t> CountedRec::copies{0};
+
+// InputHandle::OnNext fans one epoch out to two consumers: the first connector must get
+// a copy of each record, the last must be fed by moves — exactly n copy-constructions.
+TEST(RuntimeTest, InputFanoutCopiesOncePerExtraConnectorAndMovesIntoLast) {
+  Controller ctl(Config{.workers_per_process = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<CountedRec>(b);
+  std::atomic<uint64_t> seen[2] = {};
+  for (int s = 0; s < 2; ++s) {
+    ForEach<CountedRec>(
+        in,
+        [&, s](const Timestamp&, std::vector<CountedRec>& r) {
+          seen[s].fetch_add(r.size());
+        },
+        [](const CountedRec& rec) { return rec.key; });
+  }
+  ctl.Start();
+  constexpr uint64_t kRecords = 64;
+  std::vector<CountedRec> data;
+  data.reserve(kRecords);
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    data.emplace_back(i);
+  }
+  CountedRec::copies.store(0);
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(seen[0].load(), kRecords);
+  EXPECT_EQ(seen[1].load(), kRecords);
+  // One copy per record for the non-last connector; bucketing and delivery only move.
+  EXPECT_EQ(CountedRec::copies.load(), kRecords);
+}
+
+// Same contract inside the Outlet: with two routes, Send() copies the record into every
+// route but the last, which is fed by the move.
+class CountedForwardVertex final : public UnaryVertex<CountedRec, CountedRec> {
+ public:
+  void OnRecv(const Timestamp& t, std::vector<CountedRec>& batch) override {
+    for (CountedRec& r : batch) {
+      output().Send(t, std::move(r));
+    }
+  }
+};
+
+TEST(RuntimeTest, OutletFanoutCopiesOncePerExtraRouteAndMovesIntoLast) {
+  Controller ctl(Config{.workers_per_process = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<CountedRec>(b);
+  StageId fwd = b.NewStage<CountedForwardVertex>(
+      StageOptions{.name = "forward", .parallelism = 1},
+      [](uint32_t) { return std::make_unique<CountedForwardVertex>(); });
+  b.Connect<CountedForwardVertex, CountedRec>(
+      in, fwd, 0, [](const CountedRec& r) { return r.key; });
+  std::atomic<uint64_t> seen[2] = {};
+  for (int s = 0; s < 2; ++s) {
+    ForEach<CountedRec>(
+        b.OutputOf<CountedRec>(fwd),
+        [&, s](const Timestamp&, std::vector<CountedRec>& r) {
+          seen[s].fetch_add(r.size());
+        },
+        [](const CountedRec& rec) { return rec.key; });
+  }
+  ctl.Start();
+  constexpr uint64_t kRecords = 64;
+  std::vector<CountedRec> data;
+  data.reserve(kRecords);
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    data.emplace_back(i);
+  }
+  CountedRec::copies.store(0);
+  handle->OnNext(std::move(data));
+  handle->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(seen[0].load(), kRecords);
+  EXPECT_EQ(seen[1].load(), kRecords);
+  // The single-connector input path moves; the two-route Outlet fan-out copies exactly
+  // once per record (for route 0) and moves into route 1.
+  EXPECT_EQ(CountedRec::copies.load(), kRecords);
+}
+
 }  // namespace
 }  // namespace naiad
