@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace naiad::bench {
 
 inline void Header(const char* id, const char* title, const char* claim) {
@@ -168,6 +170,28 @@ class JsonReport {
   Fields config_;
   std::vector<Fields> rows_;
 };
+
+// Appends an observability snapshot to `report` as rows of kind "obs_counter" /
+// "obs_histogram", so the BENCH_*.json trajectory carries the metric series alongside the
+// figure's own measurements.
+inline void AddObsRows(JsonReport& report, const obs::ObsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    report.NewRow();
+    report.Str("kind", "obs_counter");
+    report.Str("metric", name);
+    report.Num("value", static_cast<double>(value));
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    report.NewRow();
+    report.Str("kind", "obs_histogram");
+    report.Str("metric", h.name);
+    report.Num("count", static_cast<double>(h.count));
+    report.Num("mean", h.mean);
+    report.Num("p50", h.p50);
+    report.Num("p99", h.p99);
+    report.Num("max", h.max);
+  }
+}
 
 }  // namespace naiad::bench
 

@@ -169,12 +169,32 @@ class ResendBatchVertex final : public UnaryVertex<uint64_t, uint64_t> {
   }
 };
 
+// Accumulates metrics across every obs-enabled harness run, for the JSON report.
+obs::SnapshotBuilder g_obs_builder;
+bool g_obs_any = false;
+
 // A one-worker pipeline input → resend (parallelism 4, hash exchange) → `sinks` ForEach
 // stages (fan-out when > 1), all exchanged by value.
 template <typename V>
 class ExchangeHarness {
  public:
-  explicit ExchangeHarness(uint32_t sinks) : ctl_(Config{.workers_per_process = 1}) {
+  // With `with_obs`, metrics and tracing are both on — the configuration the "*Obs"
+  // benchmarks compare against their plain twins to bound observability overhead. The
+  // trace lands at $NAIAD_TRACE_PATH (CI smoke-checks it) or is discarded.
+  static Config MakeConfig(bool with_obs) {
+    Config cfg{.workers_per_process = 1};
+    if (with_obs) {
+      cfg.obs.metrics = true;
+      cfg.obs.tracing = true;
+      if (const char* path = std::getenv("NAIAD_TRACE_PATH")) {
+        cfg.obs.trace_path = path;
+      }
+    }
+    return cfg;
+  }
+
+  explicit ExchangeHarness(uint32_t sinks, bool with_obs = false)
+      : with_obs_(with_obs), ctl_(MakeConfig(with_obs)) {
     GraphBuilder b(ctl_);
     auto [in, handle] = NewInput<uint64_t>(b);
     handle_ = handle;
@@ -196,6 +216,10 @@ class ExchangeHarness {
   ~ExchangeHarness() {
     handle_->OnCompleted();
     ctl_.Join();
+    if (with_obs_) {
+      ctl_.obs().metrics().AccumulateInto(g_obs_builder, 0);
+      g_obs_any = true;
+    }
   }
 
   void RunEpoch(std::vector<uint64_t> batch) {
@@ -205,6 +229,7 @@ class ExchangeHarness {
   uint64_t sunk() const { return sunk_.load(std::memory_order_relaxed); }
 
  private:
+  bool with_obs_;
   Controller ctl_;
   std::shared_ptr<InputHandle<uint64_t>> handle_;
   Probe probe_;
@@ -243,6 +268,32 @@ void BM_ExchangeSendBatch(benchmark::State& state) {
   benchmark::DoNotOptimize(h.sunk());
 }
 BENCHMARK(BM_ExchangeSendBatch)->Arg(8192)->UseRealTime();
+
+// The same exchange paths with metrics + tracing enabled; the delta against the plain
+// variants is the observability overhead the acceptance budget bounds (< 5%).
+void BM_ExchangeSendPerRecordObs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExchangeHarness<ResendVertex> h(/*sinks=*/1, /*with_obs=*/true);
+  for (auto _ : state) {
+    h.RunEpoch(EpochBatch(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  benchmark::DoNotOptimize(h.sunk());
+}
+BENCHMARK(BM_ExchangeSendPerRecordObs)->Arg(8192)->UseRealTime();
+
+void BM_ExchangeSendBatchObs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExchangeHarness<ResendBatchVertex> h(/*sinks=*/1, /*with_obs=*/true);
+  for (auto _ : state) {
+    h.RunEpoch(EpochBatch(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  benchmark::DoNotOptimize(h.sunk());
+}
+BENCHMARK(BM_ExchangeSendBatchObs)->Arg(8192)->UseRealTime();
 
 void BM_ExchangeFanout2(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -331,6 +382,9 @@ int main(int argc, char** argv) {
     if (c.items_per_sec > 0) {
       json.Num("records_per_sec", c.items_per_sec);
     }
+  }
+  if (naiad::g_obs_any) {
+    naiad::bench::AddObsRows(json, naiad::g_obs_builder.Finalize());
   }
   json.Write();
   benchmark::Shutdown();

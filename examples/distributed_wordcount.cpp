@@ -3,7 +3,12 @@
 // by real TCP sockets over loopback, with the distributed progress-tracking protocol
 // coordinating completeness.
 //
-//   ./build/examples/distributed_wordcount [processes] [workers-per-process]
+//   ./build/examples/distributed_wordcount [processes] [workers-per-process] [trace.json]
+//
+// A third argument (or NAIAD_TRACE_PATH in the environment) enables the observability
+// layer and writes a Chrome trace-event file there — open it in chrome://tracing or
+// Perfetto to see per-worker frontier advances, notification deliveries, and epoch
+// boundaries (see EXPERIMENTS.md "Capturing a trace").
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,12 @@ int main(int argc, char** argv) {
   opts.processes = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 3;
   opts.workers_per_process = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 2;
   opts.strategy = ProgressStrategy::kLocalGlobalAcc;
+  const char* trace_path = argc > 3 ? argv[3] : std::getenv("NAIAD_TRACE_PATH");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    opts.obs.metrics = true;
+    opts.obs.tracing = true;
+    opts.obs.trace_path = trace_path;
+  }
 
   std::mutex mu;
   uint64_t total_words = 0;
@@ -55,5 +66,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(distinct_words), sw.ElapsedMillis());
   std::printf("wire traffic: %.1f KB records, %.1f KB progress protocol\n",
               stats.data_bytes / 1024.0, stats.progress_bytes / 1024.0);
+  if (!stats.obs.empty()) {
+    std::printf("obs: %llu items run, %llu notifications delivered, %llu progress flushes\n",
+                static_cast<unsigned long long>(stats.obs.counter("items_run")),
+                static_cast<unsigned long long>(
+                    stats.obs.counter("notifications_delivered")),
+                static_cast<unsigned long long>(stats.obs.counter("progress_flushes")));
+  }
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    std::printf("trace written to %s (open in chrome://tracing or Perfetto)\n", trace_path);
+  }
   return 0;
 }

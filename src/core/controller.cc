@@ -20,6 +20,7 @@ Controller::Controller(Config cfg)
   NAIAD_CHECK(cfg_.workers_per_process > 0);
   NAIAD_CHECK(cfg_.processes > 0);
   NAIAD_CHECK(cfg_.process_id < cfg_.processes);
+  obs_ = std::make_unique<obs::Obs>(cfg_.obs, cfg_.workers_per_process, cfg_.processes);
   progress_router_ = &local_router_;
   workers_.reserve(cfg_.workers_per_process);
   for (uint32_t i = 0; i < cfg_.workers_per_process; ++i) {
@@ -148,6 +149,12 @@ void Controller::Stop() {
   }
   for (auto& w : workers_) {
     w->JoinThread();
+  }
+  // Single-process trace dump; cluster runs clear trace_path per-process and write one
+  // combined file (src/net/cluster.cc) instead. Rings are safe to read here: every
+  // recording worker thread has been joined.
+  if (obs_->tracer().enabled() && !cfg_.obs.trace_path.empty()) {
+    obs::Tracer::WriteFile(cfg_.obs.trace_path, {{cfg_.process_id, &obs_->tracer()}});
   }
 }
 

@@ -19,6 +19,7 @@
 #include "src/core/progress.h"
 #include "src/core/vertex.h"
 #include "src/core/worker.h"
+#include "src/obs/obs.h"
 
 namespace naiad {
 
@@ -30,6 +31,10 @@ struct Config {
   uint32_t default_parallelism = 0;
   // Records buffered per (connector, destination, time) before an eager flush.
   size_t batch_size = 4096;
+  // Observability: metrics registry and event tracer (both default-off). When
+  // obs.trace_path is nonempty, Stop() writes this process's trace there; cluster runs
+  // clear it per-process and write one combined file instead.
+  obs::ObsOptions obs;
 };
 
 // Ships serialized record bundles to peer processes; implemented by src/net.
@@ -88,6 +93,10 @@ class Controller {
   // Called by the network receive path with a frame produced by RouteBundle's remote arm.
   void ReceiveRemoteBundle(std::span<const uint8_t> frame);
 
+  // The observability runtime — always constructed (cheap no-op objects when disabled),
+  // so workers and the transport can hold unconditional pointers into it.
+  obs::Obs& obs() const { return *obs_; }
+
   ProgressRouter& progress_router() { return *progress_router_; }
   void SetProgressRouter(ProgressRouter* router) { progress_router_ = router; }
   void SetDataTransport(DataTransport* transport) { transport_ = transport; }
@@ -126,6 +135,7 @@ class Controller {
   bool AllInboxesEmpty() const;
 
   Config cfg_;
+  std::unique_ptr<obs::Obs> obs_;  // before workers_: they cache pointers into it
   LogicalGraph graph_;
   EventCount event_;
   ProgressTracker tracker_;

@@ -55,6 +55,11 @@ class InputHandle {
     progress_.Add(Pointstamp{t, Location::Stage(stage_)}, -1);
     ctl_->progress_router().Broadcast(progress_.Take());
     ctl_->event().NotifyAll();
+    if (ctl_->obs().tracer().enabled()) {
+      obs::Tracer& tr = ctl_->obs().tracer();
+      tr.Control(obs::TraceKind::kEpochClose, stage_, next_epoch_, 0);
+      tr.Control(obs::TraceKind::kEpochOpen, stage_, next_epoch_ + 1, 0);
+    }
     ++next_epoch_;
   }
 
@@ -75,6 +80,9 @@ class InputHandle {
     progress_.Add(Pointstamp{Timestamp(next_epoch_), Location::Stage(stage_)}, -1);
     ctl_->progress_router().Broadcast(progress_.Take());
     ctl_->event().NotifyAll();
+    if (ctl_->obs().tracer().enabled()) {
+      ctl_->obs().tracer().Control(obs::TraceKind::kEpochClose, stage_, next_epoch_, 1);
+    }
   }
 
  private:

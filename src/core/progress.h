@@ -76,6 +76,7 @@ class ProgressBuffer {
     if (last_ < slots_.size()) {
       Slot& s = slots_[last_];
       if (s.used && s.point == p) {
+        NoteCombine(s.delta, delta);
         s.delta += delta;
         return;
       }
@@ -94,6 +95,7 @@ class ProgressBuffer {
         s.point = p;
         s.delta = delta;
         ++used_;
+        ++nonzero_;  // delta != 0 (checked on entry)
         last_ = i;
         if (used_ * 4 >= slots_.size() * 3) {
           Grow();  // invalidates last_
@@ -101,6 +103,7 @@ class ProgressBuffer {
         return;
       }
       if (s.hash == h && s.point == p) {
+        NoteCombine(s.delta, delta);
         s.delta += delta;
         last_ = i;
         return;
@@ -109,17 +112,10 @@ class ProgressBuffer {
     }
   }
 
-  bool Empty() const {
-    if (used_ == 0) {
-      return true;
-    }
-    for (const Slot& s : slots_) {
-      if (s.used && s.delta != 0) {
-        return false;
-      }
-    }
-    return true;
-  }
+  // O(1): Add() maintains the count of slots with a nonzero delta (slots whose deltas
+  // cancelled back to zero stay occupied but are not pending output). This sits on the
+  // per-item FlushProgress path, so it must not scan the table.
+  bool Empty() const { return nonzero_ == 0; }
 
   std::vector<ProgressUpdate> Take() {
     std::vector<ProgressUpdate> out;
@@ -137,6 +133,7 @@ class ProgressBuffer {
       s.used = false;
     }
     used_ = 0;
+    nonzero_ = 0;
     last_ = static_cast<size_t>(-1);
     // Deterministic output (the ordered-map order): sort within each sign group.
     auto by_point = [](const ProgressUpdate& a, const ProgressUpdate& b) {
@@ -184,8 +181,17 @@ class ProgressBuffer {
     last_ = static_cast<size_t>(-1);
   }
 
+  // Tracks the nonzero-delta slot count across an in-place combine (Empty()'s O(1)
+  // view). Branchless: +1 when 0 -> nonzero, -1 when nonzero -> 0 (unsigned wrap is
+  // fine — the two bools differ by at most one and nonzero_ > 0 whenever it decrements).
+  void NoteCombine(int64_t old_delta, int64_t add) {
+    nonzero_ += static_cast<size_t>(old_delta == 0) -
+                static_cast<size_t>(old_delta + add == 0);
+  }
+
   std::vector<Slot> slots_;
   size_t used_ = 0;
+  size_t nonzero_ = 0;  // slots with delta != 0; Empty() == (nonzero_ == 0)
   size_t last_ = static_cast<size_t>(-1);  // slot touched by the previous Add
 };
 

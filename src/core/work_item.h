@@ -32,11 +32,17 @@ class WorkItemBase {
   int64_t count() const { return count_; }
   VertexBase* target() const { return target_; }
 
+  // Observability: enqueue timestamp (obs::MonotonicNs) for dispatch-latency metrics.
+  // Zero when metrics are disabled (the worker never stamps it).
+  void set_enqueue_ns(uint64_t ns) { enqueue_ns_ = ns; }
+  uint64_t enqueue_ns() const { return enqueue_ns_; }
+
  private:
   ConnectorId connector_;
   Timestamp time_;
   int64_t count_;
   VertexBase* target_;
+  uint64_t enqueue_ns_ = 0;
 };
 
 }  // namespace naiad

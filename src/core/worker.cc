@@ -11,7 +11,10 @@ Worker::Worker(Controller* ctl, uint32_t local_index)
     : ctl_(ctl),
       local_index_(local_index),
       global_index_(ctl->config().process_id * ctl->config().workers_per_process +
-                    local_index) {}
+                    local_index) {
+  metrics_ = ctl->obs().metrics().worker(local_index);
+  obs_time_ = metrics_ != nullptr;
+}
 
 Worker::~Worker() {
   RequestStop();
@@ -19,27 +22,39 @@ Worker::~Worker() {
 }
 
 void Worker::EnqueueExternal(std::unique_ptr<WorkItemBase> item) {
+  if (obs_time_) {
+    item->set_enqueue_ns(obs::MonotonicNs());
+  }
   inbox_.Push(std::move(item));
   ctl_->event().NotifyAll();
 }
 
 void Worker::EnqueueLocal(std::unique_ptr<WorkItemBase> item) {
+  if (obs_time_) {
+    item->set_enqueue_ns(obs::MonotonicNs());
+  }
   local_.push_back(std::move(item));
 }
 
 void Worker::RunNested(std::unique_ptr<WorkItemBase> item) {
   ++reentry_depth_;
-  // Preserve the enclosing callback's time context across the nested delivery.
+  // Preserve the enclosing callback's context across the nested delivery. A nested
+  // delivery is an ordinary message callback, so it runs with the item's own capability
+  // rather than an enclosing purge's ⊤-restriction — and that restriction must come back
+  // once it returns, or the remainder of the purge callback could send (§2.4).
   Timestamp saved_time = current_time_;
   bool saved_in = in_callback_;
+  bool saved_purge = in_purge_;
+  in_purge_ = false;
   RunItem(*item);
   current_time_ = saved_time;
   in_callback_ = saved_in;
+  in_purge_ = saved_purge;
   --reentry_depth_;
 }
 
 void Worker::AddNotificationRequest(VertexBase* v, const Timestamp& t) {
-  pending_.push_back(PendingNotify{t, v});
+  pending_.push_back(PendingNotify{t, v, obs_time_ ? obs::MonotonicNs() : 0});
 }
 
 void Worker::AddPurgeRequest(VertexBase* v, const Timestamp& t) {
@@ -59,12 +74,21 @@ bool Worker::TryDeliverPurges(bool force) {
     }
     PendingNotify n = purges_[i];
     purges_.erase(purges_.begin() + static_cast<ptrdiff_t>(i));
+    const uint64_t t0 =
+        (metrics_ != nullptr || trace_ != nullptr) ? obs::MonotonicNs() : 0;
     in_callback_ = true;
     in_purge_ = true;  // capability ⊤: the callback may only free state (§2.4)
     current_time_ = n.time;
     n.vertex->OnNotify(n.time);
     in_purge_ = false;
     in_callback_ = false;
+    if (metrics_ != nullptr) {
+      metrics_->purges_delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceKind::kPurgeDelivered, t0, obs::MonotonicNs() - t0,
+                     p.loc.id, n.time.epoch, 0);
+    }
     any = true;
   }
   return any;
@@ -74,7 +98,12 @@ void Worker::FlushProgress() {
   if (progress_.Empty()) {
     return;
   }
-  ctl_->progress_router().Broadcast(progress_.Take());
+  std::vector<ProgressUpdate> updates = progress_.Take();
+  if (metrics_ != nullptr) {
+    metrics_->progress_flushes.fetch_add(1, std::memory_order_relaxed);
+    metrics_->flush_updates.Record(updates.size());
+  }
+  ctl_->progress_router().Broadcast(std::move(updates));
 }
 
 void Worker::Start() {
@@ -93,6 +122,13 @@ void Worker::JoinThread() {
 }
 
 void Worker::RunItem(WorkItemBase& item) {
+  uint64_t t0 = 0;
+  if (metrics_ != nullptr) {
+    t0 = obs::MonotonicNs();
+    if (item.enqueue_ns() != 0) {
+      metrics_->dispatch_latency_ns.Record(t0 - item.enqueue_ns());
+    }
+  }
   in_callback_ = true;
   current_time_ = item.time();
   item.Run();
@@ -100,6 +136,10 @@ void Worker::RunItem(WorkItemBase& item) {
     item.target()->FlushOutputs();
   }
   in_callback_ = false;
+  if (metrics_ != nullptr) {
+    metrics_->items_run.fetch_add(1, std::memory_order_relaxed);
+    metrics_->run_time_ns.Record(obs::MonotonicNs() - t0);
+  }
   progress_.Add(Pointstamp{item.time(), Location::Connector(item.connector())},
                 -item.count());
   FlushProgress();
@@ -116,6 +156,9 @@ bool Worker::DispatchOnce() {
           local_.push_back(std::move(it));
         }
         drain_scratch_.clear();
+        if (metrics_ != nullptr) {
+          metrics_->local_queue_depth.Record(local_.size());
+        }
       }
     }
     if (local_.empty()) {
@@ -154,11 +197,31 @@ bool Worker::TryDeliverNotifications() {
     }
     PendingNotify n = pending_[i];
     pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    const uint64_t t0 =
+        (metrics_ != nullptr || trace_ != nullptr) ? obs::MonotonicNs() : 0;
     in_callback_ = true;
     current_time_ = n.time;
     n.vertex->OnNotify(n.time);
     n.vertex->FlushOutputs();
     in_callback_ = false;
+    if (t0 != 0) {
+      const uint64_t t1 = obs::MonotonicNs();
+      const uint64_t lag = n.requested_ns != 0 ? t0 - n.requested_ns : 0;
+      if (metrics_ != nullptr) {
+        metrics_->notifications_delivered.fetch_add(1, std::memory_order_relaxed);
+        if (n.requested_ns != 0) {
+          metrics_->notify_lag_ns.Record(lag);
+        }
+      }
+      if (trace_ != nullptr) {
+        // Delivery proves the frontier passed p — record the advance alongside the
+        // delivery span.
+        trace_->Record(obs::TraceKind::kFrontierAdvance, t0, 0, p.loc.id, n.time.epoch,
+                       n.time.coords.empty() ? 0 : n.time.coords[0]);
+        trace_->Record(obs::TraceKind::kNotifyDelivered, t0, t1 - t0, p.loc.id,
+                       n.time.epoch, lag);
+      }
+    }
     progress_.Add(p, -1);
     FlushProgress();
     return true;
@@ -167,6 +230,9 @@ bool Worker::TryDeliverNotifications() {
 }
 
 void Worker::ThreadMain() {
+  if (ctl_->obs().tracer().enabled()) {
+    trace_ = ctl_->obs().tracer().RegisterThread("worker" + std::to_string(global_index_));
+  }
   uint64_t idle_version = ~0ULL;
   while (!stop_.load(std::memory_order_acquire)) {
     if (ctl_->pause_requested()) {

@@ -19,6 +19,8 @@
 #include "src/core/timestamp.h"
 #include "src/core/vertex.h"
 #include "src/core/work_item.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace naiad {
 
@@ -72,6 +74,7 @@ class Worker {
   struct PendingNotify {
     Timestamp time;
     VertexBase* vertex;
+    uint64_t requested_ns = 0;  // NotifyAt wall time, for delivery-lag metrics (0 = off)
   };
   // Checkpoint support: only valid while the controller holds the workers paused (§3.4).
   const std::vector<PendingNotify>& pending_notifications() const { return pending_; }
@@ -100,6 +103,13 @@ class Worker {
   bool in_callback_ = false;
   bool in_purge_ = false;
   uint32_t reentry_depth_ = 0;
+
+  // Observability (nullptr / false when disabled — the hot paths then pay one predictable
+  // branch and no clock reads). metrics_ points into the controller's Obs; trace_ is this
+  // thread's ring, registered at ThreadMain entry and drained only after JoinThread.
+  obs::WorkerMetrics* metrics_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  bool obs_time_ = false;  // metrics_ != nullptr: stamp enqueue/request times
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

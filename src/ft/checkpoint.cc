@@ -14,6 +14,7 @@ constexpr uint32_t kMagic = 0x4e414944;  // "NAID"
 
 std::vector<uint8_t> CheckpointProcess(Controller& ctl) {
   NAIAD_CHECK(ctl.started());
+  const uint64_t span_t0 = obs::MonotonicNs();
   ctl.PauseAndDrain();
 
   ByteWriter w;
@@ -67,6 +68,10 @@ std::vector<uint8_t> CheckpointProcess(Controller& ctl) {
   }
 
   ctl.Resume();
+  if (ctl.obs().tracer().enabled()) {
+    ctl.obs().tracer().ControlSpan(obs::TraceKind::kCheckpoint, span_t0, obs::MonotonicNs(),
+                                   w.size(), 0, 0);
+  }
   return std::move(w.buffer());
 }
 
@@ -86,6 +91,7 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
 
   ctl.SetStartOverride([image = std::move(image), inputs](Controller& c,
                                                           ProgressBuffer& updates) {
+    const uint64_t span_t0 = obs::MonotonicNs();
     ByteReader r(image);
     NAIAD_CHECK(r.ReadU32() == kMagic);
     const uint32_t n_inputs = r.ReadU32();
@@ -124,6 +130,10 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
       updates.Add(Pointstamp{t, Location::Stage(s)}, +1);
     }
     NAIAD_CHECK(r.ok());
+    if (c.obs().tracer().enabled()) {
+      c.obs().tracer().ControlSpan(obs::TraceKind::kRestore, span_t0, obs::MonotonicNs(),
+                                   image.size(), 0, 0);
+    }
   });
   return inputs;
 }

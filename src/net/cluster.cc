@@ -169,9 +169,12 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
     cfg.workers_per_process = opts.workers_per_process;
     cfg.batch_size = opts.batch_size;
     cfg.default_parallelism = opts.default_parallelism;
+    cfg.obs = opts.obs;
+    cfg.obs.trace_path.clear();  // the cluster writes one combined file below
     procs[p].ctl = std::make_unique<Controller>(cfg);
     procs[p].transport = std::make_unique<TcpTransport>(p, n);
     procs[p].transport->SetFaultPlan(opts.fault_plan);
+    procs[p].transport->SetObs(&procs[p].ctl->obs());
     procs[p].router = std::make_unique<DistributedProgressRouter>(
         procs[p].ctl.get(), procs[p].transport.get(), opts.strategy,
         /*hold_limit=*/1024,
@@ -219,9 +222,28 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
         t.frames_sent(FrameType::kProgress) + t.frames_sent(FrameType::kProgressAcc);
     stats.data_bytes += t.bytes_sent(FrameType::kData);
     stats.data_frames += t.frames_sent(FrameType::kData);
+    stats.reconnects += t.reconnects();
   }
   for (uint32_t p = 0; p < n; ++p) {
     procs[p].transport->Shutdown();
+  }
+  // Observability epilogue: every worker, sender, and receiver thread has been joined
+  // (body() ran Join/Stop; Shutdown joined the transport threads), so the metric blocks
+  // and trace rings are quiescent and safe to read.
+  if (opts.obs.metrics) {
+    obs::SnapshotBuilder b;
+    for (uint32_t p = 0; p < n; ++p) {
+      procs[p].ctl->obs().metrics().AccumulateInto(b, p);
+    }
+    stats.obs = b.Finalize();
+  }
+  if (opts.obs.tracing && !opts.obs.trace_path.empty()) {
+    std::vector<std::pair<uint32_t, const obs::Tracer*>> parts;
+    parts.reserve(n);
+    for (uint32_t p = 0; p < n; ++p) {
+      parts.emplace_back(p, &procs[p].ctl->obs().tracer());
+    }
+    obs::Tracer::WriteFile(opts.obs.trace_path, parts);
   }
   return stats;
 }

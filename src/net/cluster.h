@@ -36,6 +36,10 @@ struct ClusterOptions {
   // Optional fault-injection plan (src/testing/fault.h); must outlive the run. Faults are
   // schedule perturbations only — results must be identical to a fault-free run.
   ClusterFaultPlan* fault_plan = nullptr;
+  // Observability toggles, applied to every process. When obs.trace_path is nonempty and
+  // tracing is on, one combined Chrome trace-event file (one pid per process) is written
+  // there after the run.
+  obs::ObsOptions obs;
 };
 
 struct ClusterStats {
@@ -43,7 +47,10 @@ struct ClusterStats {
   uint64_t progress_frames = 0;
   uint64_t data_bytes = 0;         // record-bundle traffic over the wire (Fig. 6a)
   uint64_t data_frames = 0;
+  uint64_t reconnects = 0;         // link resets survived (fault injection)
   double elapsed_seconds = 0;
+  // Merged metrics across all processes; empty unless opts.obs.metrics was set.
+  obs::ObsSnapshot obs;
 };
 
 class Cluster {

@@ -56,6 +56,9 @@ void DistributedProgressRouter::Emit(std::vector<ProgressUpdate> updates) {
   if (faults_ != nullptr) {
     faults_->PerturbFlushBatch(updates);
   }
+  if (obs::ProcessMetrics* m = ctl_->obs().metrics().process()) {
+    m->progress_emit_updates.Record(updates.size());
+  }
   std::vector<uint8_t> payload = EncodeUpdates(updates);
   const bool to_central = strategy_ == ProgressStrategy::kGlobalAcc ||
                           strategy_ == ProgressStrategy::kLocalGlobalAcc;
@@ -72,6 +75,9 @@ void DistributedProgressRouter::EmitFromCentral(std::vector<ProgressUpdate> upda
   }
   if (faults_ != nullptr) {
     faults_->PerturbFlushBatch(updates);
+  }
+  if (obs::ProcessMetrics* m = ctl_->obs().metrics().process()) {
+    m->progress_emit_updates.Record(updates.size());
   }
   std::vector<uint8_t> payload = EncodeUpdates(updates);
   transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);

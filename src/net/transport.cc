@@ -55,6 +55,9 @@ void TcpTransport::Start(const std::vector<uint16_t>& ports, Callbacks cb) {
     if (fault_plan_ != nullptr) {
       link->faults = fault_plan_->Link(pid_, p);
     }
+    if (obs_ != nullptr) {
+      link->metrics = obs_->metrics().link(p);
+    }
     Socket s = DialPeer(p);
     NAIAD_CHECK(s.valid()) << "connect to process " << p << " failed";
     s.SetWriteFaults(link->faults);
@@ -121,15 +124,27 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
     }
   }
   FrameInto(frame.owned, type, payload);
-  frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_[static_cast<size_t>(type)].fetch_add(frame.owned.size(),
-                                                   std::memory_order_relaxed);
+  const size_t frame_bytes = frame.owned.size();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(link.mu);
     if (link.closed) {
+      // The frame is dropped, not sent: it must not count toward the wire totals (the
+      // termination barrier and Fig. 6c both read them), and its buffer goes back to the
+      // free list instead of leaking its capacity.
+      if (frame.owned.capacity() > 0 && link.free_frames.size() < kMaxFreeFrames) {
+        frame.owned.clear();
+        link.free_frames.push_back(std::move(frame.owned));
+      }
       return;
     }
     link.queue.push_back(std::move(frame));
+    depth = link.queue.size();
+  }
+  frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_[static_cast<size_t>(type)].fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (link.metrics != nullptr) {
+    link.metrics->send_queue_depth.Record(depth);
   }
   link.cv.notify_one();
 }
@@ -150,16 +165,21 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
       frame = std::make_shared<std::vector<uint8_t>>();
       FrameInto(*frame, type, payload);
     }
-    frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size(),
-                                                     std::memory_order_relaxed);
     SendLink& link = *send_links_[p];
+    size_t depth;
     {
       std::lock_guard<std::mutex> lock(link.mu);
       if (link.closed) {
-        continue;
+        continue;  // dropped, so not counted as sent
       }
       link.queue.push_back(OutFrame{.owned = {}, .shared = frame});
+      depth = link.queue.size();
+    }
+    frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size(),
+                                                     std::memory_order_relaxed);
+    if (link.metrics != nullptr) {
+      link.metrics->send_queue_depth.Record(depth);
     }
     link.cv.notify_one();
   }
@@ -202,16 +222,25 @@ void TcpTransport::ResetLink(uint32_t dst, SendLink& link) {
   // Reset at a frame boundary: every previously queued frame was fully written, so the
   // peer's receiver drains to EOF between frames and resumes on the replacement
   // connection — FIFO and framing both preserved.
+  if (link.trace != nullptr) {
+    link.trace->Record(obs::TraceKind::kLinkReset, obs::MonotonicNs(), 0, dst, 0, 0);
+  }
   link.socket.Close();
   Socket s = DialPeer(dst);
   if (s.valid()) {
     s.SetWriteFaults(link.faults);
     link.socket = std::move(s);
     reconnects_.fetch_add(1, std::memory_order_relaxed);
+    if (link.trace != nullptr) {
+      link.trace->Record(obs::TraceKind::kLinkReconnect, obs::MonotonicNs(), 0, dst, 0, 0);
+    }
   }
 }
 
 void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
+  if (obs_ != nullptr) {
+    link.trace = obs_->tracer().RegisterThread("send->" + std::to_string(dst));
+  }
   uint64_t frame_index = 0;
   std::vector<OutFrame> batch;
   for (;;) {
@@ -228,6 +257,9 @@ void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
         batch.push_back(std::move(link.queue.front()));
         link.queue.pop_front();
       }
+    }
+    if (link.metrics != nullptr) {
+      link.metrics->writev_batch.Record(batch.size());
     }
     // Split the batch into maximal runs at fault-injected reset points. The hook is
     // stateful, so each frame index is consulted exactly once, in order; a reset lands
@@ -265,6 +297,10 @@ void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
 }
 
 void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
+  obs::TraceRing* trace =
+      obs_ != nullptr ? obs_->tracer().RegisterThread("recv<-" + std::to_string(src))
+                      : nullptr;
+  bool first_connection = true;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(link.mu);
@@ -280,6 +316,11 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       link.pending.pop_front();
       link.reading = true;
     }
+    if (trace != nullptr && !first_connection) {
+      // Adopting a replacement connection after the peer's fault-injected reset.
+      trace->Record(obs::TraceKind::kLinkReconnect, obs::MonotonicNs(), 0, src, 1, 0);
+    }
+    first_connection = false;
     for (;;) {
       uint8_t header[9];
       if (!link.socket.ReadAll(header)) {

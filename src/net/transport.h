@@ -31,6 +31,7 @@
 #include "src/core/controller.h"
 #include "src/net/fault_hooks.h"
 #include "src/net/socket.h"
+#include "src/obs/obs.h"
 
 namespace naiad {
 
@@ -56,6 +57,11 @@ class TcpTransport final : public DataTransport {
 
   // Optional fault plan; must be set before Start() and outlive the transport.
   void SetFaultPlan(ClusterFaultPlan* plan) { fault_plan_ = plan; }
+
+  // Optional observability runtime (the owning Controller's); must be set before Start()
+  // and outlive the transport. Supplies per-link metrics blocks and sender/receiver
+  // thread trace rings.
+  void SetObs(obs::Obs* obs) { obs_ = obs; }
 
   // Phase 1 (launcher thread): open the listener, returning its port.
   uint16_t Listen();
@@ -117,7 +123,9 @@ class TcpTransport final : public DataTransport {
     std::vector<std::vector<uint8_t>> free_frames;
     bool closed = false;
     std::thread sender;
-    LinkFaultHook* faults = nullptr;  // owned by the fault plan
+    LinkFaultHook* faults = nullptr;        // owned by the fault plan
+    obs::LinkMetrics* metrics = nullptr;    // owned by the controller's Obs; set in Start
+    obs::TraceRing* trace = nullptr;        // sender-thread ring; set/used only by SenderMain
   };
 
   // Inbound half: connections the peer dialed to us, delivered by the accept loop. The
@@ -155,6 +163,7 @@ class TcpTransport final : public DataTransport {
   std::thread acceptor_;
   Callbacks cb_;
   ClusterFaultPlan* fault_plan_ = nullptr;
+  obs::Obs* obs_ = nullptr;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> bytes_sent_[kNumFrameTypes] = {};

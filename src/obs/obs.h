@@ -1,0 +1,39 @@
+// The per-process observability runtime: one Metrics registry + one Tracer, owned by the
+// Controller and shared with the transport and progress router. See options.h for the
+// toggles, metrics.h / trace.h for the two halves.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/obs/options.h"
+#include "src/obs/trace.h"
+
+namespace naiad::obs {
+
+class Obs {
+ public:
+  Obs(const ObsOptions& options, uint32_t workers_per_process, uint32_t processes)
+      : options_(options),
+        metrics_(options.metrics, workers_per_process, processes),
+        tracer_(options.tracing, options.trace_ring_capacity) {}
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  const ObsOptions& options() const { return options_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  ObsOptions options_;
+  Metrics metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace naiad::obs
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,34 @@
+// Observability toggles (metrics + tracing), carried on Config / ClusterOptions.
+//
+// Both features are off by default and the hot paths reduce to one null-pointer branch
+// when disabled, so an ObsOptions{} run is indistinguishable from a build without the
+// subsystem (the acceptance bar for every bench in BENCH_*.json).
+
+#ifndef SRC_OBS_OPTIONS_H_
+#define SRC_OBS_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace naiad::obs {
+
+struct ObsOptions {
+  // Per-worker counters and log-bucketed histograms (see metrics.h). Adds two steady-clock
+  // reads and a few relaxed fetch_adds per delivered work item.
+  bool metrics = false;
+  // Per-thread trace ring buffers (see trace.h). Events are recorded only at scheduler
+  // boundaries (notification deliveries, epoch transitions, link resets), never per record.
+  bool tracing = false;
+  // Events retained per thread ring; rounded up to a power of two. Old events are
+  // overwritten ring-style — the drained trace keeps the most recent `trace_ring_capacity`.
+  size_t trace_ring_capacity = 16384;
+  // When non-empty, the owner (Controller::Stop for a single process, Cluster::Run for a
+  // cluster) drains every ring into a Chrome trace-event JSON file at this path.
+  std::string trace_path;
+
+  bool any() const { return metrics || tracing; }
+};
+
+}  // namespace naiad::obs
+
+#endif  // SRC_OBS_OPTIONS_H_

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
 #include <vector>
 
 #include "src/base/event_count.h"
@@ -139,6 +141,82 @@ TEST(ProgressBufferTest, CombinesAndOrdersPositivesFirst) {
   EXPECT_EQ(out[1].point, b);
   EXPECT_EQ(out[1].delta, -1);
   EXPECT_TRUE(buf.Empty());
+}
+
+TEST(ProgressBufferTest, EmptyTracksCancellationWithoutTake) {
+  ProgressBuffer buf;
+  Pointstamp a{Timestamp(0), Location::Stage(1)};
+  EXPECT_TRUE(buf.Empty());
+  buf.Add(a, +1);
+  EXPECT_FALSE(buf.Empty());
+  buf.Add(a, -1);
+  // The slot stays occupied with delta 0, but nothing is pending output — Empty() must
+  // see that without scanning (regression: it used to report non-empty / scan O(slots)).
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_TRUE(buf.Take().empty());
+  buf.Add(a, -2);
+  EXPECT_FALSE(buf.Empty());
+  buf.Add(a, +2);
+  EXPECT_TRUE(buf.Empty());
+}
+
+// Property test for the O(1) Empty() bookkeeping: a randomized add/cancel/Take sequence
+// must agree with a reference map at every step, across combining, cancellation,
+// re-activation of cancelled slots, and table growth.
+TEST(ProgressBufferTest, RandomizedAddCancelTakeMatchesReference) {
+  std::mt19937_64 rng(20260807);
+  ProgressBuffer buf;
+  std::map<Pointstamp, int64_t> ref;
+  auto point = [](uint64_t i) {
+    const uint32_t id = static_cast<uint32_t>(i % 97);  // enough keys to force Grow()
+    return i % 2 == 0 ? Pointstamp{Timestamp(i % 5, {i % 3}), Location::Stage(id)}
+                      : Pointstamp{Timestamp(i % 5), Location::Connector(id)};
+  };
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t r = rng();
+    if (r % 29 == 0) {
+      std::vector<ProgressUpdate> out = buf.Take();
+      size_t positives = 0;
+      while (positives < out.size() && out[positives].delta > 0) {
+        ++positives;
+      }
+      for (size_t i = 0; i < out.size(); ++i) {
+        ASSERT_NE(out[i].delta, 0);
+        // Positives precede negatives (§3.3), each sign group sorted by pointstamp.
+        if (i < positives) {
+          EXPECT_GT(out[i].delta, 0);
+        } else {
+          EXPECT_LT(out[i].delta, 0);
+        }
+        if (i > 0 && i != positives) {
+          EXPECT_TRUE(out[i - 1].point < out[i].point);
+        }
+      }
+      std::map<Pointstamp, int64_t> got;
+      for (const ProgressUpdate& u : out) {
+        got[u.point] += u.delta;
+      }
+      std::map<Pointstamp, int64_t> want;
+      for (const auto& [p, d] : ref) {
+        if (d != 0) {
+          want[p] = d;
+        }
+      }
+      EXPECT_EQ(got, want);
+      ref.clear();
+      EXPECT_TRUE(buf.Empty());
+      continue;
+    }
+    const Pointstamp p = point(r >> 8);
+    const int64_t delta = static_cast<int64_t>((r >> 40) % 5) - 2;  // [-2, +2], incl. 0
+    buf.Add(p, delta);
+    ref[p] += delta;
+    bool any = false;
+    for (const auto& [q, d] : ref) {
+      any = any || d != 0;
+    }
+    ASSERT_EQ(buf.Empty(), !any) << "step " << step;
+  }
 }
 
 TEST(ProgressUpdateTest, SerializationRoundTrip) {

@@ -404,6 +404,61 @@ TEST(RuntimeTest, PurgeNotificationsFireAfterGuaranteeAndDoNotBlock) {
   EXPECT_EQ(purged.load(), 4u);  // every epoch's state reclaimed by drain time
 }
 
+// Regression for the §2.4 capability bookkeeping around nested deliveries: a bundle
+// delivered re-entrantly inside a purge callback is an ordinary callback (it may send),
+// but the enclosing purge must be ⊤-restricted again the moment the nested delivery
+// returns — RunNested used to save/restore the time context but not in_purge_.
+class PurgeProbeItem final : public WorkItemBase {
+ public:
+  PurgeProbeItem(Worker* w, std::atomic<int>* in_purge_inside)
+      : WorkItemBase(0, Timestamp(0), 0, nullptr), w_(w), inside_(in_purge_inside) {}
+  void Run() override { inside_->store(w_->in_purge() ? 1 : 0); }
+
+ private:
+  Worker* w_;
+  std::atomic<int>* inside_;
+};
+
+class NestedDuringPurgeVertex final : public UnaryVertex<uint64_t, uint64_t> {
+ public:
+  NestedDuringPurgeVertex(std::atomic<int>* inside, std::atomic<int>* after)
+      : inside_(inside), after_(after) {}
+
+  void OnRecv(const Timestamp& t, std::vector<uint64_t>&) override { PurgeAt(t); }
+
+  void OnNotify(const Timestamp&) override {
+    // Purge callback: drive a nested delivery through the worker, exactly as a
+    // re-entrant route (stage.h) would.
+    worker().RunNested(std::make_unique<PurgeProbeItem>(&worker(), inside_));
+    after_->store(worker().in_purge() ? 1 : 0);
+  }
+
+ private:
+  std::atomic<int>* inside_;
+  std::atomic<int>* after_;
+};
+
+TEST(RuntimeTest, NestedDeliveryDuringPurgeRestoresCapability) {
+  Controller ctl(Config{.workers_per_process = 1});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<uint64_t>(b);
+  std::atomic<int> inside{-1};
+  std::atomic<int> after{-1};
+  StageId purger = b.NewStage<NestedDuringPurgeVertex>(
+      StageOptions{.name = "nestedpurge", .parallelism = 1},
+      [&](uint32_t) { return std::make_unique<NestedDuringPurgeVertex>(&inside, &after); });
+  b.Connect<NestedDuringPurgeVertex, uint64_t>(in, purger);
+  ctl.Start();
+  handle->OnNext({1});
+  handle->OnCompleted();
+  ctl.Join();
+  // The nested delivery ran with the item's own capability, not the purge's ⊤...
+  EXPECT_EQ(inside.load(), 0);
+  // ...and the purge restriction came back once it returned (the predicate NotifyAt and
+  // CheckNotPast consult).
+  EXPECT_EQ(after.load(), 1);
+}
+
 TEST(RuntimeTest, ManyWorkersManyEpochsDrainCleanly) {
   Controller ctl(Config{.workers_per_process = 8});
   GraphBuilder b(ctl);

@@ -57,7 +57,10 @@ std::map<std::string, uint64_t> RunWordCount(ClusterFaultPlan* plan) {
       ClusterOptions{.processes = kProcesses,
                      .workers_per_process = 1,
                      .batch_size = 32,  // small batches => many frames => many fault points
-                     .fault_plan = plan},
+                     .fault_plan = plan,
+                     // Observability on (no trace file): the sweep doubles as the TSan
+                     // proof that the metrics/tracing record paths are race-free.
+                     .obs = {.metrics = true, .tracing = true}},
       [&](Controller& ctl) {
         GraphBuilder b(ctl);
         auto [lines, handle] = NewInput<std::string>(b);

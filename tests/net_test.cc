@@ -109,6 +109,64 @@ TEST(TransportTest, MeshDeliversFramesFifoPerPair) {
   }
 }
 
+// Regression: Send()/BroadcastFrame() used to bump frames_sent_/bytes_sent_ *before*
+// noticing the link was closed, then silently drop the frame — inflating the wire totals
+// that the termination barrier's stability check and the Fig. 6a/6c accounting read.
+// Counters must reflect only frames actually handed to a sender thread.
+TEST(TransportTest, DroppedFramesOnClosedLinkAreNotCounted) {
+  constexpr uint32_t kProcs = 2;
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  std::vector<uint16_t> ports;
+  for (uint32_t p = 0; p < kProcs; ++p) {
+    transports.push_back(std::make_unique<TcpTransport>(p, kProcs));
+    ports.push_back(transports.back()->Listen());
+  }
+  std::vector<std::thread> starters;
+  for (uint32_t p = 0; p < kProcs; ++p) {
+    starters.emplace_back([&, p] {
+      TcpTransport::Callbacks cb;
+      cb.on_data = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+      transports[p]->Start(ports, std::move(cb));
+    });
+  }
+  for (auto& t : starters) {
+    t.join();
+  }
+
+  // One real frame establishes the baseline and proves the counted path still counts.
+  ByteWriter w;
+  w.WriteU32(7);
+  transports[0]->Send(1, FrameType::kData, std::move(w.buffer()));
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (transports[1]->frames_received(FrameType::kData) == 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint64_t frames = transports[0]->frames_sent(FrameType::kData);
+  const uint64_t bytes = transports[0]->bytes_sent(FrameType::kData);
+  EXPECT_EQ(frames, 1u);
+  EXPECT_EQ(transports[1]->frames_received(FrameType::kData), frames);
+
+  // Shutdown closes every send link; subsequent sends are dropped and must not count.
+  transports[0]->Shutdown();
+  for (int i = 0; i < 16; ++i) {
+    ByteWriter wd;
+    wd.WriteU32(9);
+    transports[0]->Send(1, FrameType::kData, std::move(wd.buffer()));
+  }
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  transports[0]->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/false);
+  EXPECT_EQ(transports[0]->frames_sent(FrameType::kData), frames);
+  EXPECT_EQ(transports[0]->bytes_sent(FrameType::kData), bytes);
+  EXPECT_EQ(transports[0]->frames_sent(FrameType::kProgress), 0u);
+  EXPECT_EQ(transports[0]->bytes_sent(FrameType::kProgress), 0u);
+  transports[1]->Shutdown();
+}
+
 // A keyed counting vertex used for the distributed equivalence tests.
 class CountPerKeyVertex final : public UnaryVertex<uint64_t, std::pair<uint64_t, uint64_t>> {
  public:

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Smoke-checks a naiad Chrome trace-event file (see src/obs/trace.h).
+
+Asserts the file is valid JSON, timestamps are monotone non-decreasing per
+(pid, tid) thread, and — optionally — that at least N distinct worker threads
+recorded both frontier-advance and notification-delivery events (the
+distributed-WordCount acceptance criterion).
+
+Usage:
+  tools/check_trace.py TRACE.json [--min-workers N] [--require NAME ...]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace-event JSON file")
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        help="require at least N worker threads with frontier AND notify events",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one event with this name (repeatable)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"FAIL: {args.trace}: no traceEvents array", file=sys.stderr)
+        return 1
+
+    last_ts = {}
+    names = collections.Counter()
+    thread_names = {}
+    worker_events = collections.defaultdict(set)  # (pid, tid) -> {event names}
+    for e in events:
+        name, ph = e.get("name"), e.get("ph")
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "M":
+            if name == "thread_name":
+                thread_names[key] = e["args"]["name"]
+            continue
+        names[name] += 1
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            print(f"FAIL: event {e} has invalid ts", file=sys.stderr)
+            return 1
+        if key in last_ts and ts < last_ts[key]:
+            print(
+                f"FAIL: non-monotone ts on pid/tid {key}: {ts} after {last_ts[key]}",
+                file=sys.stderr,
+            )
+            return 1
+        last_ts[key] = ts
+        worker_events[key].add(name)
+
+    for required in args.require:
+        if names[required] == 0:
+            print(f"FAIL: no '{required}' events in {args.trace}", file=sys.stderr)
+            return 1
+
+    workers_with_both = [
+        key
+        for key, name in thread_names.items()
+        if name.startswith("worker")
+        and {"frontier", "notify"} <= worker_events.get(key, set())
+    ]
+    if args.min_workers and len(workers_with_both) < args.min_workers:
+        print(
+            f"FAIL: only {len(workers_with_both)} worker threads have frontier+notify "
+            f"events (need {args.min_workers}); threads: {sorted(thread_names.values())}",
+            file=sys.stderr,
+        )
+        return 1
+
+    total = sum(names.values())
+    print(
+        f"OK: {args.trace}: {total} events across {len(last_ts)} threads, "
+        f"{len(workers_with_both)} workers with frontier+notify; "
+        f"top events: {names.most_common(5)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
