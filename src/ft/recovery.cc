@@ -17,6 +17,36 @@
 
 namespace naiad {
 
+namespace {
+
+// Retries fsync across EINTR; false on any other failure.
+bool FsyncFd(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// fsyncs the directory containing `path`. A rename is only durable once the directory
+// entry it rewrote is on disk; without this, a power loss after the rename can roll the
+// directory back to the old (or no) entry even though the data blocks survived.
+bool FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return false;
+  }
+  const bool ok = FsyncFd(dfd);
+  ::close(dfd);
+  return ok;
+}
+
+}  // namespace
+
 bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image) {
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -37,12 +67,20 @@ bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image
     off += static_cast<size_t>(n);
   }
   // The rename is the publication point; fsync first so a kill after the rename cannot
-  // leave a name pointing at unwritten data.
-  if (::fsync(fd) != 0 || ::close(fd) != 0 || ::rename(tmp.c_str(), path.c_str()) != 0) {
+  // leave a name pointing at unwritten data. The fd is closed unconditionally — the old
+  // short-circuited `fsync || close || rename` chain leaked it when fsync failed.
+  bool flushed = FsyncFd(fd);
+  if (::close(fd) != 0) {
+    flushed = false;
+  }
+  if (!flushed || ::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return false;
   }
-  return true;
+  // The rename alone is atomic but not durable: fsync the parent directory so the
+  // published entry survives power loss. If this fails the image is visible but not
+  // provably durable, and callers must treat the publish as failed.
+  return FsyncParentDir(path);
 }
 
 std::vector<uint8_t> ReadCheckpointFile(const std::string& path) {

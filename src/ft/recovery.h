@@ -22,7 +22,10 @@
 
 namespace naiad {
 
-// Atomically publishes `image` at `path` (temp file + rename). Returns false on I/O error.
+// Atomically publishes `image` at `path` (temp file + fsync + rename + parent-directory
+// fsync, so the publication survives power loss, not just process death). Returns false
+// on I/O error — including when the image was renamed into place but its durability
+// could not be established.
 bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image);
 
 // Reads a previously published image; empty if the file is absent or unreadable.

@@ -29,6 +29,33 @@ class LinkFaultHook : public WriteFaultHook {
   virtual bool ShouldResetBefore(uint64_t frame_index) = 0;
 };
 
+// Receive half of a simplex connection: consumed only by the destination process's
+// receiver thread for that link, so implementations need no internal locking. The legal
+// schedules are strictly perturbations of *when* the receiver observes bytes and hands
+// frames onward, never of what arrives or in what order:
+//   - ReadStep faults (torn reads, modeled EINTR storms, bounded stalls) reshape the
+//     recv() syscall schedule inside Socket::ReadExact.
+//   - DispatchDelayUs holds a fully decoded frame for a bounded time between decode and
+//     worker-queue enqueue. The single receiver thread itself sleeps, so no later frame
+//     on the link can overtake — per-link FIFO is preserved by construction.
+//   - AdoptionDelayUs stalls adoption of a replacement connection after the previous one
+//     drained to EOF, so a sender-side reset is observed to land (and linger) on a frame
+//     boundary before delivery resumes.
+// Unilateral receiver-side connection *closes* are deliberately not injectable: without
+// sender retransmission they would discard in-flight bytes, violating the
+// content-preservation contract (see DESIGN.md "Fault injection").
+class RecvLinkFaultHook : public ReadFaultHook {
+ public:
+  // Bounded delay in microseconds (0 = none) between decoding frame `frame_index`
+  // (0-based count of frames dispatched on this link, across connections) and
+  // dispatching it.
+  virtual uint32_t DispatchDelayUs(uint64_t frame_index) = 0;
+  // Bounded delay in microseconds (0 = none) before adopting replacement connection
+  // `replacement_index` (0-based count of adopted replacements, i.e. excluding the
+  // link's first connection).
+  virtual uint32_t AdoptionDelayUs(uint64_t replacement_index) = 0;
+};
+
 // Per-process perturbation of the progress accumulators (§3.3). All three calls must keep
 // the protocol's invariants: flushes may be delayed only boundedly (workers re-poll idle
 // accumulators, so a deferred flush is retried), forced flushes are always safe, and
@@ -54,6 +81,12 @@ class ClusterFaultPlan {
   virtual ~ClusterFaultPlan() = default;
   virtual LinkFaultHook* Link(uint32_t src_process, uint32_t dst_process) = 0;
   virtual ProgressFaultHook* Progress(uint32_t process) = 0;
+  // Receive-side hook for the simplex link src -> dst, consulted by dst's receiver
+  // thread. Defaults to nullptr so plans written before receive-path injection existed
+  // stay valid.
+  virtual RecvLinkFaultHook* RecvLink(uint32_t /*src_process*/, uint32_t /*dst_process*/) {
+    return nullptr;
+  }
 };
 
 }  // namespace naiad

@@ -21,8 +21,10 @@ Socket& Socket::operator=(Socket&& other) noexcept {
     Close();
     fd_ = other.fd_;
     write_faults_ = other.write_faults_;
+    read_faults_ = other.read_faults_;
     other.fd_ = -1;
     other.write_faults_ = nullptr;
+    other.read_faults_ = nullptr;
   }
   return *this;
 }
@@ -124,22 +126,45 @@ bool Socket::WritevAll(std::span<const iovec> iov) {
   return true;
 }
 
-bool Socket::ReadAll(std::span<uint8_t> data) {
+ReadResult Socket::ReadExact(std::span<uint8_t> data) {
+  ReadResult res;
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::recv(fd_, data.data() + off, data.size() - off, 0);
+    size_t want = data.size() - off;
+    if (read_faults_ != nullptr) {
+      ReadStep step = read_faults_->Next(want);
+      for (uint32_t i = 0; i < step.eintr_spins; ++i) {
+        // Modeled interrupted recv(): yield and re-enter the retry loop with `off`
+        // unchanged. No syscall — recv(fd, buf, 0) may return 0, which is ambiguous
+        // with EOF, so the read side models the interruption in-process.
+        std::this_thread::yield();
+      }
+      if (step.delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(step.delay_us));
+      }
+      want = std::min(want, std::max<size_t>(1, step.max_len));
+    }
+    ssize_t n = ::recv(fd_, data.data() + off, want, 0);
     if (n == 0) {
-      return false;  // peer closed
+      // Peer closed. Only a close before the first byte of this span is a clean
+      // boundary; a close after partial progress is a torn read.
+      res.status = off == 0 ? ReadResult::Status::kEof : ReadResult::Status::kError;
+      res.bytes_read = off;
+      return res;
     }
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return false;
+      res.status = ReadResult::Status::kError;
+      res.bytes_read = off;
+      res.err = errno;
+      return res;
     }
     off += static_cast<size_t>(n);
   }
-  return true;
+  res.bytes_read = off;
+  return res;
 }
 
 void Socket::SetNoDelay() {

@@ -39,14 +39,53 @@ class WriteFaultHook {
   virtual WriteStep Next(size_t remaining) = 0;
 };
 
+// Fault injection: constraints applied to one recv() attempt. `max_len` caps how many
+// bytes this step may read (torn reads that split a frame into seeded chunks),
+// `delay_us` stalls the receiver first, and `eintr_spins` re-enters ReadExact's retry
+// loop that many times with a sched yield but no syscall — the in-process model of an
+// EINTR storm. (The write side models EINTR with real zero-byte send()s; recv(fd, buf, 0)
+// may legally return 0, which is indistinguishable from EOF, so the read side models the
+// interruption without the syscall.) None of this changes which bytes arrive or in what
+// order.
+struct ReadStep {
+  uint32_t delay_us = 0;
+  size_t max_len = std::numeric_limits<size_t>::max();
+  uint32_t eintr_spins = 0;
+};
+
+// Consulted by Socket::ReadExact before every recv() attempt when installed.
+class ReadFaultHook {
+ public:
+  virtual ~ReadFaultHook() = default;
+  virtual ReadStep Next(size_t remaining) = 0;
+};
+
+// Outcome of Socket::ReadExact. The distinction that matters to framed protocols: a peer
+// close before the *first* byte of the span is a clean boundary (kEof); any EOF or errno
+// failure after partial progress is a torn read and must never be surfaced as a short
+// success. `err` carries the errno of a failed syscall (0 for EOF outcomes), so callers
+// can tell a connection reset landing on a frame boundary (bytes_read == 0,
+// err == ECONNRESET) from a torn frame.
+struct ReadResult {
+  enum class Status : uint8_t { kOk, kEof, kError };
+  Status status = Status::kOk;
+  size_t bytes_read = 0;
+  int err = 0;
+  bool ok() const { return status == Status::kOk; }
+};
+
 class Socket {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
-  Socket(Socket&& other) noexcept : fd_(other.fd_), write_faults_(other.write_faults_) {
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_),
+        write_faults_(other.write_faults_),
+        read_faults_(other.read_faults_) {
     other.fd_ = -1;
     other.write_faults_ = nullptr;
+    other.read_faults_ = nullptr;
   }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
@@ -63,7 +102,10 @@ class Socket {
   // across iovec boundaries).
   bool WritevAll(std::span<const iovec> iov);
   // Reads exactly data.size() bytes; returns false on EOF/error.
-  bool ReadAll(std::span<uint8_t> data);
+  bool ReadAll(std::span<uint8_t> data) { return ReadExact(data).ok(); }
+  // Reads exactly data.size() bytes, classifying the failure modes (see ReadResult):
+  // clean EOF strictly means zero bytes of this span arrived before the orderly close.
+  ReadResult ReadExact(std::span<uint8_t> data);
 
   void SetNoDelay();
   // Unblocks any reader/writer, then closes.
@@ -74,6 +116,9 @@ class Socket {
   // Non-owning; the hook must outlive the socket's use. Only the writing thread may call
   // WriteAll while a hook is installed.
   void SetWriteFaults(WriteFaultHook* hook) { write_faults_ = hook; }
+  // Same contract for the read side: consulted on every ReadExact step; only the reading
+  // thread may call ReadExact while a hook is installed.
+  void SetReadFaults(ReadFaultHook* hook) { read_faults_ = hook; }
 
   // Connects to 127.0.0.1:port (retrying briefly while the listener comes up).
   static Socket ConnectLocal(uint16_t port);
@@ -81,6 +126,7 @@ class Socket {
  private:
   int fd_ = -1;
   WriteFaultHook* write_faults_ = nullptr;
+  ReadFaultHook* read_faults_ = nullptr;
 };
 
 class Listener {

@@ -1,5 +1,9 @@
 #include "src/net/transport.h"
 
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "src/base/logging.h"
@@ -54,6 +58,7 @@ void TcpTransport::Start(const std::vector<uint16_t>& ports, Callbacks cb) {
     SendLink* link = send_links_[p].get();
     if (fault_plan_ != nullptr) {
       link->faults = fault_plan_->Link(pid_, p);
+      recv_links_[p]->faults = fault_plan_->RecvLink(p, pid_);
     }
     if (obs_ != nullptr) {
       link->metrics = obs_->metrics().link(p);
@@ -80,8 +85,24 @@ void TcpTransport::AcceptorMain() {
     if (!s.valid()) {
       return;  // listener closed (shutdown)
     }
+    // Publish the handshake fd so Shutdown() can unblock this read: shutting the
+    // listener down unblocks Accept() but not an in-progress handshake, so a dialer
+    // that connects and then stalls would otherwise pin the acceptor join forever.
+    {
+      std::lock_guard<std::mutex> lock(accept_mu_);
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;  // Shutdown already swept; it will not see this fd
+      }
+      handshake_fd_ = s.fd();
+    }
     uint32_t who = 0;
-    if (!s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who)))) {
+    const bool identified =
+        s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who)));
+    {
+      std::lock_guard<std::mutex> lock(accept_mu_);
+      handshake_fd_ = -1;
+    }
+    if (!identified) {
       continue;  // dialer vanished before identifying itself
     }
     if (who >= nprocs_ || who == pid_) {
@@ -301,6 +322,8 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       obs_ != nullptr ? obs_->tracer().RegisterThread("recv<-" + std::to_string(src))
                       : nullptr;
   bool first_connection = true;
+  uint64_t frame_index = 0;        // frames dispatched on this link, across connections
+  uint64_t replacement_index = 0;  // replacement connections adopted so far
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(link.mu);
@@ -309,22 +332,61 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       link.cv.wait(lock, [&] {
         return !link.pending.empty() || shutdown_.load(std::memory_order_acquire);
       });
-      if (link.pending.empty()) {
-        return;  // shutdown
+      // Check shutdown before pending: a replacement queued just before Shutdown()'s
+      // sweep passed this link must not be adopted afterwards — its dialer may never
+      // close it, and nothing would ever unblock the read (Shutdown only shuts down
+      // the socket that was being read when the sweep ran).
+      if (shutdown_.load(std::memory_order_acquire) || link.pending.empty()) {
+        return;
       }
       link.socket = std::move(link.pending.front());
       link.pending.pop_front();
+      link.socket.SetReadFaults(link.faults);
       link.reading = true;
     }
-    if (trace != nullptr && !first_connection) {
-      // Adopting a replacement connection after the peer's fault-injected reset.
-      trace->Record(obs::TraceKind::kLinkReconnect, obs::MonotonicNs(), 0, src, 1, 0);
+    if (!first_connection) {
+      if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire)) {
+        // Delayed adoption: the replacement sits un-adopted for a bounded time, so the
+        // reset is observed to linger on the frame boundary before delivery resumes.
+        const uint32_t delay_us = link.faults->AdoptionDelayUs(replacement_index);
+        if (delay_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        }
+      }
+      ++replacement_index;
+      if (trace != nullptr) {
+        // Adopting a replacement connection after the peer's fault-injected reset.
+        trace->Record(obs::TraceKind::kLinkReconnect, obs::MonotonicNs(), 0, src, 1, 0);
+      }
     }
     first_connection = false;
     for (;;) {
       uint8_t header[9];
-      if (!link.socket.ReadAll(header)) {
-        break;  // EOF: either peer reset (replacement coming) or the run is over
+      const ReadResult hres = link.socket.ReadExact(header);
+      if (!hres.ok()) {
+        if (hres.status == ReadResult::Status::kEof) {
+          break;  // clean EOF on a frame boundary: peer reset or the run is over
+        }
+        if (shutdown_.load(std::memory_order_acquire)) {
+          return;  // local teardown unblocked the read; don't count it as a link fault
+        }
+        if (hres.bytes_read == 0 && hres.err == ECONNRESET) {
+          // A reset landing exactly on a frame boundary: every frame written before the
+          // peer's abort was delivered, so this is recoverable — wait for a replacement.
+          recv_boundary_resets_.fetch_add(1, std::memory_order_relaxed);
+          if (trace != nullptr) {
+            trace->Record(obs::TraceKind::kLinkReset, obs::MonotonicNs(), 0, src, 1, 0);
+          }
+          break;
+        }
+        // EOF or error mid-header: a torn frame, distinct from a boundary close. The
+        // partial frame is abandoned, never dispatched short.
+        recv_torn_frames_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) {
+          trace->Record(obs::TraceKind::kLinkTornFrame, obs::MonotonicNs(), 0, src,
+                        hres.bytes_read, 0);
+        }
+        break;
       }
       ByteReader hr(header);
       const uint32_t len = hr.ReadU32();
@@ -333,9 +395,32 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       NAIAD_CHECK(static_cast<uint8_t>(type) < kNumFrameTypes);
       NAIAD_CHECK(frame_src == src);
       std::vector<uint8_t> payload(len);
-      if (len > 0 && !link.socket.ReadAll(payload)) {
-        break;
+      if (len > 0) {
+        const ReadResult bres = link.socket.ReadExact(payload);
+        if (!bres.ok()) {
+          if (shutdown_.load(std::memory_order_acquire)) {
+            return;
+          }
+          // Any failure inside the body — even a "clean" close at body offset 0 — is
+          // mid-frame and therefore torn: the header was already consumed.
+          recv_torn_frames_.fetch_add(1, std::memory_order_relaxed);
+          if (trace != nullptr) {
+            trace->Record(obs::TraceKind::kLinkTornFrame, obs::MonotonicNs(), 0, src,
+                          sizeof(header) + bres.bytes_read, 1);
+          }
+          break;
+        }
       }
+      if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire)) {
+        // Bounded delayed dispatch between frame decode and worker-queue enqueue. The
+        // receiver thread itself sleeps, so later frames on this link cannot overtake:
+        // per-link FIFO is preserved by construction.
+        const uint32_t delay_us = link.faults->DispatchDelayUs(frame_index);
+        if (delay_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        }
+      }
+      ++frame_index;
       if (shutdown_.load(std::memory_order_acquire)) {
         return;
       }
@@ -353,6 +438,15 @@ void TcpTransport::Shutdown() {
   }
   // Stop accepting replacements first so the acceptor cannot race socket teardown.
   listener_.Shutdown();
+  {
+    // Unblock a handshake read in progress: the acceptor either sees the shutdown flag
+    // before registering the fd (and returns), or registered it here for us to shut
+    // down. Either way the join below cannot hang on a silent dialer.
+    std::lock_guard<std::mutex> lock(accept_mu_);
+    if (handshake_fd_ >= 0) {
+      ::shutdown(handshake_fd_, SHUT_RDWR);
+    }
+  }
   if (acceptor_.joinable()) {
     acceptor_.join();
   }

@@ -91,6 +91,17 @@ class TcpTransport final : public DataTransport {
   }
   // Connections this transport re-established after a (fault-injected) reset.
   uint64_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
+  // Frames a receiver abandoned because the connection died mid-frame (EOF or error
+  // inside the header or body). Torn frames are never dispatched; a nonzero count
+  // outside shutdown means a peer violated the frame-boundary close contract.
+  uint64_t recv_torn_frames() const {
+    return recv_torn_frames_.load(std::memory_order_relaxed);
+  }
+  // Connection resets (ECONNRESET) a receiver observed landing exactly on a frame
+  // boundary — recoverable: the receiver waits for a replacement connection.
+  uint64_t recv_boundary_resets() const {
+    return recv_boundary_resets_.load(std::memory_order_relaxed);
+  }
 
   uint32_t process_id() const { return pid_; }
   uint32_t processes() const { return nprocs_; }
@@ -139,6 +150,7 @@ class TcpTransport final : public DataTransport {
     bool reading = false;                // a socket is installed and being drained
     std::deque<Socket> pending;          // replacement connections, FIFO
     std::thread receiver;
+    RecvLinkFaultHook* faults = nullptr;  // owned by the fault plan; set in Start
   };
 
   void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload);
@@ -161,11 +173,18 @@ class TcpTransport final : public DataTransport {
   std::vector<std::unique_ptr<SendLink>> send_links_;  // indexed by dst; [pid_] unused
   std::vector<std::unique_ptr<RecvLink>> recv_links_;  // indexed by src; [pid_] unused
   std::thread acceptor_;
+  // The fd the acceptor is currently blocked on reading a handshake from, or -1.
+  // Shutdown() shuts it down so a dialer that connected but never identified itself
+  // cannot block the acceptor join forever.
+  std::mutex accept_mu_;
+  int handshake_fd_ = -1;
   Callbacks cb_;
   ClusterFaultPlan* fault_plan_ = nullptr;
   obs::Obs* obs_ = nullptr;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> recv_torn_frames_{0};
+  std::atomic<uint64_t> recv_boundary_resets_{0};
   std::atomic<uint64_t> bytes_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_received_[kNumFrameTypes] = {};

@@ -28,6 +28,8 @@ KindDesc Describe(TraceKind k) {
       return {"link_reset", false};
     case TraceKind::kLinkReconnect:
       return {"link_reconnect", false};
+    case TraceKind::kLinkTornFrame:
+      return {"link_torn_frame", false};
     case TraceKind::kCheckpoint:
       return {"checkpoint", true};
     case TraceKind::kRestore:
@@ -65,6 +67,12 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
     case TraceKind::kLinkReconnect:
       std::snprintf(buf, sizeof(buf), "{\"peer\": %llu, \"side\": \"%s\"}",
                     static_cast<unsigned long long>(e.a0), e.a1 != 0 ? "recv" : "send");
+      break;
+    case TraceKind::kLinkTornFrame:
+      std::snprintf(buf, sizeof(buf), "{\"peer\": %llu, \"bytes\": %llu, \"in\": \"%s\"}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1),
+                    e.a2 != 0 ? "body" : "header");
       break;
     case TraceKind::kCheckpoint:
     case TraceKind::kRestore:

@@ -43,6 +43,7 @@ enum class TraceKind : uint8_t {
   kEpochClose,           // a0=input stage, a1=epoch, a2=1 when the input closed
   kLinkReset,            // a0=dst/src process, a1=1 on the receive side
   kLinkReconnect,        // a0=dst/src process, a1=1 on the receive side
+  kLinkTornFrame,        // a0=src process, a1=bytes consumed, a2=1 if torn in the body
   kCheckpoint,           // a0=image bytes; dur=pause+serialize span
   kRestore,              // a0=image bytes; dur=restore span
 };

@@ -10,8 +10,9 @@ namespace naiad {
 
 namespace {
 
-// Domain-separated child seeds so link and progress streams never correlate.
+// Domain-separated child seeds so link, receive, and progress streams never correlate.
 constexpr uint64_t kLinkDomain = 0x4c494e4bULL;      // "LINK"
+constexpr uint64_t kRecvDomain = 0x52454356ULL;      // "RECV"
 constexpr uint64_t kProgressDomain = 0x50524f47ULL;  // "PROG"
 
 // Seeded Fisher-Yates over [begin, end).
@@ -42,6 +43,20 @@ FaultProfile FaultProfile::FromSeed(uint64_t seed) {
   p.max_flush_delay_us = 20 + static_cast<uint32_t>(rng.Below(300));
   p.early_flush_prob = 0.05 + 0.25 * rng.NextDouble();
   p.shuffle_flush_batches = rng.Below(2) == 0;
+  // Receive side mirrors the send side: torn reads and modeled EINTR are cheap and can
+  // be frequent; dispatch delays multiply per frame, so their probability stays low.
+  p.torn_read_prob = 0.05 + 0.45 * rng.NextDouble();
+  p.max_read_chunk_bytes = 1 + rng.Below(16);
+  p.read_eintr_prob = 0.02 + 0.2 * rng.NextDouble();
+  p.max_read_eintr_spins = 1 + static_cast<uint32_t>(rng.Below(4));
+  p.read_delay_prob = 0.01 + 0.05 * rng.NextDouble();
+  p.max_read_delay_us = 20 + static_cast<uint32_t>(rng.Below(180));
+  p.dispatch_delay_prob = 0.02 + 0.08 * rng.NextDouble();
+  p.max_dispatch_delay_us = 20 + static_cast<uint32_t>(rng.Below(180));
+  // Adoption delays are consulted once per replacement connection — rare — so they can
+  // be near-certain and comparatively long.
+  p.adoption_delay_prob = 0.3 + 0.5 * rng.NextDouble();
+  p.max_adoption_delay_us = 50 + static_cast<uint32_t>(rng.Below(250));
   return p;
 }
 
@@ -71,6 +86,41 @@ bool LinkFaults::ShouldResetBefore(uint64_t /*frame_index*/) {
     return true;
   }
   return false;
+}
+
+ReadStep RecvLinkFaults::Next(size_t remaining) {
+  ReadStep step;
+  if (profile_.read_eintr_prob > 0 && rng_.NextDouble() < profile_.read_eintr_prob) {
+    step.eintr_spins = 1 + static_cast<uint32_t>(rng_.Below(
+                               std::max<uint32_t>(1, profile_.max_read_eintr_spins)));
+  }
+  if (profile_.read_delay_prob > 0 && rng_.NextDouble() < profile_.read_delay_prob) {
+    step.delay_us = 1 + static_cast<uint32_t>(rng_.Below(
+                            std::max<uint32_t>(1, profile_.max_read_delay_us)));
+  }
+  if (profile_.torn_read_prob > 0 && remaining > 1 &&
+      rng_.NextDouble() < profile_.torn_read_prob) {
+    step.max_len = 1 + rng_.Below(std::max<size_t>(1, profile_.max_read_chunk_bytes));
+  }
+  return step;
+}
+
+uint32_t RecvLinkFaults::DispatchDelayUs(uint64_t /*frame_index*/) {
+  if (profile_.dispatch_delay_prob <= 0 ||
+      rng_.NextDouble() >= profile_.dispatch_delay_prob) {
+    return 0;
+  }
+  return 1 + static_cast<uint32_t>(rng_.Below(
+                 std::max<uint32_t>(1, profile_.max_dispatch_delay_us)));
+}
+
+uint32_t RecvLinkFaults::AdoptionDelayUs(uint64_t /*replacement_index*/) {
+  if (profile_.adoption_delay_prob <= 0 ||
+      rng_.NextDouble() >= profile_.adoption_delay_prob) {
+    return 0;
+  }
+  return 1 + static_cast<uint32_t>(rng_.Below(
+                 std::max<uint32_t>(1, profile_.max_adoption_delay_us)));
 }
 
 bool ProgressFaults::BeforeIdleFlush() {
@@ -128,6 +178,17 @@ LinkFaultHook* FaultPlan::Link(uint32_t src_process, uint32_t dst_process) {
   if (it == links_.end()) {
     const uint64_t child = HashCombine(HashCombine(seed_, kLinkDomain), key);
     it = links_.emplace(key, std::make_unique<LinkFaults>(child, profile_)).first;
+  }
+  return it->second.get();
+}
+
+RecvLinkFaultHook* FaultPlan::RecvLink(uint32_t src_process, uint32_t dst_process) {
+  const uint64_t key = (static_cast<uint64_t>(src_process) << 32) | dst_process;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = recv_links_.find(key);
+  if (it == recv_links_.end()) {
+    const uint64_t child = HashCombine(HashCombine(seed_, kRecvDomain), key);
+    it = recv_links_.emplace(key, std::make_unique<RecvLinkFaults>(child, profile_)).first;
   }
   return it->second.get();
 }

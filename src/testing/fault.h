@@ -2,14 +2,16 @@
 //
 // A FaultPlan is a pure function of one uint64_t seed: it derives an independent
 // splitmix64 decision stream per simplex connection (keyed by the (src, dst) process
-// pair) and per process's progress accumulator. Every injected fault — partial writes,
-// zero-byte "EINTR storm" retries, bounded send stalls, connection resets at frame
-// boundaries, deferred/early/shuffled accumulator flushes — is a schedule perturbation
-// that preserves the protocol contract (per-link FIFO, §3.3 flush safety), so any run
-// under any plan must produce results identical to the fault-free run. A failing
-// schedule reproduces from its seed alone: decisions depend only on the seed and on each
-// consumer's own event index (frames written on a link, bytes stepped through a write,
-// flushes attempted), not on cross-thread timing.
+// pair — one stream for its send half, a domain-separated one for its receive half) and
+// per process's progress accumulator. Every injected fault — partial writes, zero-byte
+// "EINTR storm" retries, bounded send stalls, connection resets at frame boundaries,
+// torn reads, modeled receive-side EINTR storms, bounded pre-dispatch holds and delayed
+// replacement-connection adoption, deferred/early/shuffled accumulator flushes — is a
+// schedule perturbation that preserves the protocol contract (per-link FIFO, §3.3 flush
+// safety), so any run under any plan must produce results identical to the fault-free
+// run. A failing schedule reproduces from its seed alone: decisions depend only on the
+// seed and on each consumer's own event index (frames written on a link, bytes stepped
+// through a write or read, flushes attempted), not on cross-thread timing.
 //
 // Wiring: ClusterOptions::fault_plan (tests), or TcpTransport::SetFaultPlan plus the
 // DistributedProgressRouter `faults` constructor argument directly.
@@ -48,6 +50,18 @@ struct FaultProfile {
   uint32_t max_flush_delay_us = 200;
   double early_flush_prob = 0.0;        // flush although holding would be safe
   bool shuffle_flush_batches = false;   // reorder within same-sign runs
+  // Socket read faults (Socket::ReadExact steps on receiver threads).
+  double torn_read_prob = 0.0;          // cap one recv() at max_read_chunk_bytes
+  size_t max_read_chunk_bytes = 8;
+  double read_eintr_prob = 0.0;         // modeled interrupted recv()s (yield + retry)
+  uint32_t max_read_eintr_spins = 3;
+  double read_delay_prob = 0.0;         // stall the receiver before a recv()
+  uint32_t max_read_delay_us = 100;
+  // Transport receive-path faults (per frame / per adopted replacement connection).
+  double dispatch_delay_prob = 0.0;     // hold a decoded frame before enqueue (FIFO-safe)
+  uint32_t max_dispatch_delay_us = 200;
+  double adoption_delay_prob = 0.0;     // stall before adopting a replacement connection
+  uint32_t max_adoption_delay_us = 300;
 
   // A mixed-intensity profile with every fault class enabled, derived from the seed so a
   // sweep covers light and heavy injection. Used by the seeded test sweeps.
@@ -69,6 +83,22 @@ class LinkFaults final : public LinkFaultHook {
   Rng rng_;
   FaultProfile profile_;
   uint64_t resets_ = 0;
+};
+
+// Read + dispatch/adoption-delay faults for the receive half of one simplex connection.
+// Consumed by exactly one receiver thread (the RecvLinkFaultHook contract), so no locking.
+class RecvLinkFaults final : public RecvLinkFaultHook {
+ public:
+  RecvLinkFaults(uint64_t seed, const FaultProfile& profile)
+      : rng_(seed), profile_(profile) {}
+
+  ReadStep Next(size_t remaining) override;
+  uint32_t DispatchDelayUs(uint64_t frame_index) override;
+  uint32_t AdoptionDelayUs(uint64_t replacement_index) override;
+
+ private:
+  Rng rng_;
+  FaultProfile profile_;
 };
 
 // Flush perturbation for one process's accumulators. Called from multiple worker threads,
@@ -95,6 +125,7 @@ class FaultPlan final : public ClusterFaultPlan {
 
   LinkFaultHook* Link(uint32_t src_process, uint32_t dst_process) override;
   ProgressFaultHook* Progress(uint32_t process) override;
+  RecvLinkFaultHook* RecvLink(uint32_t src_process, uint32_t dst_process) override;
 
   uint64_t seed() const { return seed_; }
   const FaultProfile& profile() const { return profile_; }
@@ -106,6 +137,7 @@ class FaultPlan final : public ClusterFaultPlan {
   FaultProfile profile_;
   mutable std::mutex mu_;  // guards lazy hook creation (Start() runs per-process concurrently)
   std::map<uint64_t, std::unique_ptr<LinkFaults>> links_;
+  std::map<uint64_t, std::unique_ptr<RecvLinkFaults>> recv_links_;
   std::map<uint32_t, std::unique_ptr<ProgressFaults>> processes_;
 };
 

@@ -157,6 +157,37 @@ TEST(FaultInjectionTest, FlushPerturbationsAloneStillDeliverExactCounts) {
   EXPECT_EQ(RunWordCount(&plan), CleanReference());
 }
 
+TEST(FaultInjectionTest, ReceiveScheduleStormStillDeliversExactCounts) {
+  // Receive-side faults cranked to near-certainty: every recv() torn to <= 3 bytes with
+  // modeled EINTR storms, frequent pre-dispatch holds, and sender resets frequent enough
+  // that delayed replacement adoption is demonstrably exercised too.
+  FaultProfile profile;
+  profile.torn_read_prob = 1.0;
+  profile.max_read_chunk_bytes = 3;
+  profile.read_eintr_prob = 0.5;
+  profile.max_read_eintr_spins = 3;
+  profile.dispatch_delay_prob = 0.3;
+  profile.max_dispatch_delay_us = 100;
+  profile.reset_prob = 0.1;
+  profile.max_resets_per_link = 4;
+  profile.adoption_delay_prob = 1.0;
+  profile.max_adoption_delay_us = 200;
+  FaultPlan plan(80, profile);
+  EXPECT_EQ(RunWordCount(&plan), CleanReference());
+  EXPECT_GT(plan.total_resets(), 0u)
+      << "no resets -> adoption delays never ran; test is vacuous";
+}
+
+TEST(FaultInjectionTest, DelayedDispatchAloneStillDeliversExactCounts) {
+  // Only the decode-to-enqueue hold, on every frame: the termination barrier must not
+  // declare stability while frames sit decoded-but-undispatched on receiver threads.
+  FaultProfile profile;
+  profile.dispatch_delay_prob = 1.0;
+  profile.max_dispatch_delay_us = 150;
+  FaultPlan plan(81, profile);
+  EXPECT_EQ(RunWordCount(&plan), CleanReference());
+}
+
 TEST(FaultInjectionTest, SameSeedYieldsIdenticalDecisionStreams) {
   // The reproducibility contract: a plan's decisions are pure functions of the seed and
   // the consumer's own event index.
@@ -173,6 +204,38 @@ TEST(FaultInjectionTest, SameSeedYieldsIdenticalDecisionStreams) {
     ASSERT_EQ(sa.zero_writes, sb.zero_writes) << "step " << i;
     ASSERT_EQ(la->ShouldResetBefore(i), lb->ShouldResetBefore(i)) << "frame " << i;
   }
+  RecvLinkFaultHook* ra = a.RecvLink(0, 1);
+  RecvLinkFaultHook* rb = b.RecvLink(0, 1);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ReadStep sa = ra->Next(64);
+    ReadStep sb = rb->Next(64);
+    ASSERT_EQ(sa.delay_us, sb.delay_us) << "read step " << i;
+    ASSERT_EQ(sa.max_len, sb.max_len) << "read step " << i;
+    ASSERT_EQ(sa.eintr_spins, sb.eintr_spins) << "read step " << i;
+    ASSERT_EQ(ra->DispatchDelayUs(i), rb->DispatchDelayUs(i)) << "frame " << i;
+    ASSERT_EQ(ra->AdoptionDelayUs(i), rb->AdoptionDelayUs(i)) << "replacement " << i;
+  }
+}
+
+TEST(FaultInjectionTest, RecvStreamIsStableAndIndependentOfSendStream) {
+  const uint64_t seed = 777;
+  FaultPlan plan(seed, FaultProfile::FromSeed(seed));
+  RecvLinkFaultHook* recv = plan.RecvLink(0, 1);
+  // Same object on repeated lookup (the receiver's stream must not restart mid-run)...
+  EXPECT_EQ(recv, plan.RecvLink(0, 1));
+  // ...and distinct from the reverse direction's stream.
+  EXPECT_NE(recv, plan.RecvLink(1, 0));
+  // Domain separation: the send and receive halves of the same link must not correlate.
+  LinkFaultHook* send = plan.Link(0, 1);
+  int diverged = 0;
+  for (uint64_t i = 0; i < 256; ++i) {
+    ReadStep r = recv->Next(64);
+    WriteStep w = send->Next(64);
+    if (r.delay_us != w.delay_us || r.max_len != w.max_len) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0) << "send and receive streams are correlated";
 }
 
 TEST(FaultInjectionTest, DistinctLinksGetIndependentStreams) {

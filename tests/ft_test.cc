@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -371,6 +375,63 @@ TEST(KillRecoverTest, DriverKillsAtTheSeedChosenEpoch) {
     EXPECT_EQ(a.kill_epoch, 1 + seed % (kKillEpochs - 1)) << "seed " << seed;
     EXPECT_LT(a.last_durable_epoch, a.kill_epoch) << "seed " << seed;
   }
+}
+
+size_t OpenFdCount() {
+  DIR* d = ::opendir("/proc/self/fd");
+  EXPECT_NE(d, nullptr);
+  size_t n = 0;
+  while (::readdir(d) != nullptr) {
+    ++n;
+  }
+  ::closedir(d);
+  return n;
+}
+
+// Regression for the WriteCheckpointFile error paths: the old short-circuited
+// `fsync(fd) != 0 || close(fd) != 0 || rename(...)` chain leaked the fd whenever fsync
+// failed, and a failed rename left the temp file behind. Every failure must close the fd
+// and unlink the temp file.
+TEST(CheckpointFileTest, FailedPublishLeaksNoFdAndRemovesTempFile) {
+  const std::vector<uint8_t> image = {1, 2, 3, 4};
+  const size_t fds_before = OpenFdCount();
+
+  // rename(tmp, path) fails with EISDIR when `path` is a directory — a deterministic
+  // failure that lands *after* the fsync+close sequence the old chain got wrong.
+  const std::string dir_target = ::testing::TempDir() + "/naiad_ckpt_errdir";
+  ASSERT_EQ(::mkdir(dir_target.c_str(), 0755), 0);
+  EXPECT_FALSE(WriteCheckpointFile(dir_target, image));
+  EXPECT_EQ(OpenFdCount(), fds_before);
+  struct stat st;
+  EXPECT_NE(::stat((dir_target + ".tmp").c_str(), &st), 0)
+      << "failed publish left its temp file behind";
+  ASSERT_EQ(::rmdir(dir_target.c_str()), 0);
+
+  // A missing parent directory fails at open(tmp) — before any fd exists to leak.
+  EXPECT_FALSE(WriteCheckpointFile(
+      ::testing::TempDir() + "/naiad_no_such_dir/ckpt", image));
+  EXPECT_EQ(OpenFdCount(), fds_before);
+}
+
+TEST(CheckpointFileTest, PublishedImageRoundTripsAndOverwrites) {
+  const std::string path = ::testing::TempDir() + "/naiad_ckpt_roundtrip";
+  std::remove(path.c_str());
+  const size_t fds_before = OpenFdCount();
+  const std::vector<uint8_t> first = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(WriteCheckpointFile(path, first));
+  EXPECT_EQ(ReadCheckpointFile(path), first);
+  // Republishing replaces the image atomically (the kill/recover path overwrites the
+  // same name every epoch) and leaves no temp file.
+  std::vector<uint8_t> second(300);
+  for (size_t i = 0; i < second.size(); ++i) {
+    second[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(WriteCheckpointFile(path, second));
+  EXPECT_EQ(ReadCheckpointFile(path), second);
+  struct stat st;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0);
+  EXPECT_EQ(OpenFdCount(), fds_before);
+  std::remove(path.c_str());
 }
 
 TEST(LogTest, DurableModeWritesMoreSlowlyButIdentically) {

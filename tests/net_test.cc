@@ -1,13 +1,19 @@
 // Tests for the TCP transport, the distributed progress protocol, and multi-process
-// (loopback cluster) execution equivalence.
+// (loopback cluster) execution equivalence — including the receive path under
+// adversarial schedules: torn reads, EINTR storms, mid-frame EOF classification, and
+// reset-then-reconnect adoption.
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/core/io.h"
@@ -165,6 +171,398 @@ TEST(TransportTest, DroppedFramesOnClosedLinkAreNotCounted) {
   EXPECT_EQ(transports[0]->frames_sent(FrameType::kProgress), 0u);
   EXPECT_EQ(transports[0]->bytes_sent(FrameType::kProgress), 0u);
   transports[1]->Shutdown();
+}
+
+// --- Receive-path fault coverage ------------------------------------------------------
+//
+// These tests drive exact torn-read / EINTR / reset schedules against Socket::ReadExact
+// and a live TcpTransport receiver, where the seeded sweep (fault_injection_test) only
+// samples them.
+
+// Replays a fixed cycle of ReadSteps so a test controls the recv() schedule precisely.
+class ScriptedReadFaults final : public ReadFaultHook {
+ public:
+  explicit ScriptedReadFaults(std::vector<ReadStep> script) : script_(std::move(script)) {}
+  ReadStep Next(size_t /*remaining*/) override {
+    const ReadStep step = script_.empty() ? ReadStep{} : script_[consulted_ % script_.size()];
+    ++consulted_;
+    return step;
+  }
+  uint64_t consulted() const { return consulted_; }
+
+ private:
+  std::vector<ReadStep> script_;
+  uint64_t consulted_ = 0;
+};
+
+std::pair<Socket, Socket> LocalPair() {
+  Listener l;
+  uint16_t port = l.Open();
+  Socket client = Socket::ConnectLocal(port);
+  Socket server = l.Accept();
+  return {std::move(client), std::move(server)};
+}
+
+// Regression for the EOF-classification audit: a peer close before the first byte of the
+// span is a clean boundary (kEof); a close after partial progress is a torn read (kError)
+// and must never surface as a short success.
+TEST(SocketTest, ReadExactDistinguishesCleanEofFromTornRead) {
+  {
+    auto [client, server] = LocalPair();
+    client.Close();
+    std::vector<uint8_t> buf(9);
+    const ReadResult r = server.ReadExact(buf);
+    EXPECT_EQ(r.status, ReadResult::Status::kEof);
+    EXPECT_EQ(r.bytes_read, 0u);
+    EXPECT_EQ(r.err, 0);
+  }
+  {
+    auto [client, server] = LocalPair();
+    const std::vector<uint8_t> partial = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_TRUE(client.WriteAll(partial));
+    client.Close();
+    std::vector<uint8_t> buf(9);
+    const ReadResult r = server.ReadExact(buf);
+    EXPECT_EQ(r.status, ReadResult::Status::kError);
+    EXPECT_EQ(r.bytes_read, 4u);
+    EXPECT_EQ(r.err, 0);  // orderly close mid-span, not an errno failure
+  }
+}
+
+// An EINTR storm plus torn reads (1-5 byte chunks) during ReadExact must reshape only the
+// syscall schedule: every byte still arrives, in order, exactly once.
+TEST(SocketTest, EintrStormAndTornReadsPreserveByteStream) {
+  auto [client, server] = LocalPair();
+  ScriptedReadFaults faults({
+      ReadStep{.delay_us = 0, .max_len = 3, .eintr_spins = 2},
+      ReadStep{.max_len = 1},
+      ReadStep{.delay_us = 20, .max_len = 5, .eintr_spins = 1},
+      ReadStep{.max_len = 2, .eintr_spins = 3},
+  });
+  server.SetReadFaults(&faults);
+  std::vector<uint8_t> msg(4096);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  std::thread writer([&client, &msg] { EXPECT_TRUE(client.WriteAll(msg)); });
+  std::vector<uint8_t> got(msg.size());
+  const ReadResult r = server.ReadExact(got);
+  writer.join();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.bytes_read, msg.size());
+  EXPECT_EQ(got, msg);
+  // The chunk caps (max 5 bytes per step) force the read through many faulted attempts.
+  EXPECT_GE(faults.consulted(), msg.size() / 5);
+}
+
+// A transport with one real endpoint (pid 1 of 2) whose "process 0" peer is the test:
+// raw sockets dial the transport's listener, complete the u32 handshake, and write frames
+// byte-by-whatever-schedule the test wants. The stub listener only exists so Start()'s
+// mesh dial of process 0 succeeds.
+class RecvHarness {
+ public:
+  explicit RecvHarness(ClusterFaultPlan* plan = nullptr) : transport_(1, 2) {
+    if (plan != nullptr) {
+      transport_.SetFaultPlan(plan);
+    }
+    const uint16_t my_port = transport_.Listen();
+    const uint16_t stub_port = stub_.Open();
+    port_ = my_port;
+    TcpTransport::Callbacks cb;
+    cb.on_data = [this](uint32_t src, std::span<const uint8_t> payload) {
+      EXPECT_EQ(src, 0u);
+      std::lock_guard<std::mutex> lock(mu_);
+      got_.emplace_back(payload.begin(), payload.end());
+    };
+    cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
+    cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
+    cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+    transport_.Start({stub_port, my_port}, std::move(cb));
+  }
+  ~RecvHarness() { transport_.Shutdown(); }
+
+  // Dials the transport as "process 0" and completes the identifying handshake.
+  Socket Dial() {
+    Socket s = Socket::ConnectLocal(port_);
+    EXPECT_TRUE(s.valid());
+    const uint32_t me = 0;
+    EXPECT_TRUE(s.WriteAll(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(&me), sizeof(me))));
+    return s;
+  }
+
+  // A fully framed kData wire frame from process 0.
+  static std::vector<uint8_t> Frame(std::span<const uint8_t> payload) {
+    ByteWriter w;
+    w.WriteU32(static_cast<uint32_t>(payload.size()));
+    w.WriteU8(static_cast<uint8_t>(FrameType::kData));
+    w.WriteU32(0);
+    w.WriteBytes(payload.data(), payload.size());
+    return std::move(w.buffer());
+  }
+
+  bool WaitForCount(size_t n) {
+    for (int spin = 0; spin < 3000; ++spin) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (got_.size() >= n) {
+          return got_.size() == n;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+  std::vector<std::vector<uint8_t>> Received() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return got_;
+  }
+  TcpTransport& transport() { return transport_; }
+
+ private:
+  Listener stub_;  // "process 0"'s listener; its connection from Start() is never used
+  TcpTransport transport_;
+  uint16_t port_ = 0;
+  std::mutex mu_;
+  std::vector<std::vector<uint8_t>> got_;
+};
+
+bool WaitFor(const std::function<bool()>& pred) {
+  for (int spin = 0; spin < 3000; ++spin) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// EOF inside the 9-byte header is a torn frame: counted, never dispatched, and the link
+// survives to serve a replacement connection.
+TEST(TransportRecvTest, TornReadMidHeaderIsLinkErrorNotFrame) {
+  RecvHarness h;
+  const std::vector<uint8_t> payload = {10, 20, 30, 40, 50};
+  {
+    Socket peer = h.Dial();
+    const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
+    ASSERT_TRUE(peer.WriteAll(std::span<const uint8_t>(frame).first(4)));
+  }  // close with 4 of 9 header bytes delivered
+  EXPECT_TRUE(WaitFor([&] { return h.transport().recv_torn_frames() == 1; }));
+  EXPECT_EQ(h.Received().size(), 0u);  // the partial frame was abandoned, not dispatched
+  EXPECT_EQ(h.transport().recv_boundary_resets(), 0u);
+
+  Socket replacement = h.Dial();
+  ASSERT_TRUE(replacement.WriteAll(RecvHarness::Frame(payload)));
+  ASSERT_TRUE(h.WaitForCount(1));
+  EXPECT_EQ(h.Received()[0], payload);
+}
+
+// EOF inside the body — even a "clean" close at body offset 0, since the header was
+// already consumed — is likewise torn, never a short frame.
+TEST(TransportRecvTest, TornReadMidBodyIsLinkErrorNotShortFrame) {
+  RecvHarness h;
+  std::vector<uint8_t> payload(100);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i);
+  }
+  {
+    Socket peer = h.Dial();
+    const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
+    ASSERT_TRUE(peer.WriteAll(std::span<const uint8_t>(frame).first(9 + 40)));
+  }  // close with the header and 40 of 100 body bytes delivered
+  EXPECT_TRUE(WaitFor([&] { return h.transport().recv_torn_frames() == 1; }));
+  EXPECT_EQ(h.Received().size(), 0u);
+  EXPECT_EQ(h.transport().frames_received(FrameType::kData), 0u);
+
+  Socket replacement = h.Dial();
+  ASSERT_TRUE(replacement.WriteAll(RecvHarness::Frame(payload)));
+  ASSERT_TRUE(h.WaitForCount(1));
+  EXPECT_EQ(h.Received()[0], payload);
+}
+
+// The reset-then-reconnect shape the sender-side harness produces: a replacement
+// connection arrives (and sits pending) while a frame is still partially in flight on the
+// old connection. The receiver must drain the old connection to EOF — completing that
+// frame and any behind it — before adopting the replacement. FIFO across the reconnect.
+TEST(TransportRecvTest, ReconnectAdoptionWaitsForPartialFrameInFlight) {
+  RecvHarness h;
+  const std::vector<uint8_t> p1 = {1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<uint8_t> p2 = {2, 2, 2};
+  const std::vector<uint8_t> p3 = {3, 3, 3, 3, 3};
+  const std::vector<uint8_t> f1 = RecvHarness::Frame(p1);
+  Socket a = h.Dial();
+  // Frame 1 goes out torn across the window: header plus half the body now...
+  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(f1).first(9 + p1.size() / 2)));
+  // ...the replacement dials in and is queued while frame 1 is still in flight...
+  Socket b = h.Dial();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...then the old connection finishes frame 1, ships frame 2, and closes on the
+  // boundary, exactly like a sender-side ResetLink.
+  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(f1).subspan(9 + p1.size() / 2)));
+  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p2)));
+  a.Close();
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p3)));
+
+  ASSERT_TRUE(h.WaitForCount(3));
+  const auto got = h.Received();
+  EXPECT_EQ(got[0], p1);
+  EXPECT_EQ(got[1], p2);
+  EXPECT_EQ(got[2], p3);
+  EXPECT_EQ(h.transport().recv_torn_frames(), 0u);
+  EXPECT_EQ(h.transport().recv_boundary_resets(), 0u);
+}
+
+// A hard reset (RST) landing exactly on a frame boundary is recoverable and classified
+// separately from a torn frame: every frame written before the abort was delivered, so
+// the receiver waits for a replacement rather than flagging corruption.
+TEST(TransportRecvTest, BoundaryResetIsClassifiedAndRecovered) {
+  RecvHarness h;
+  const std::vector<uint8_t> p1 = {7, 7, 7};
+  const std::vector<uint8_t> p2 = {8, 8, 8, 8};
+  Socket a = h.Dial();
+  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p1)));
+  // Frame 1 must be fully consumed before the reset so it lands on the boundary (an RST
+  // discards any bytes still buffered in the receiver's kernel socket).
+  ASSERT_TRUE(h.WaitForCount(1));
+  const linger lg = {.l_onoff = 1, .l_linger = 0};
+  ASSERT_EQ(::setsockopt(a.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+  a.Close();  // RST instead of FIN
+  EXPECT_TRUE(WaitFor([&] { return h.transport().recv_boundary_resets() == 1; }));
+  EXPECT_EQ(h.transport().recv_torn_frames(), 0u);
+
+  Socket b = h.Dial();
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p2)));
+  ASSERT_TRUE(h.WaitForCount(2));
+  EXPECT_EQ(h.Received()[1], p2);
+}
+
+// Deterministic receive-side schedule storm at the transport layer: torn reads (1-3 byte
+// chunks), modeled EINTR, read stalls, dispatch delays, and adoption delays, with 50
+// frames of varying size written as one burst so chunk boundaries land everywhere. The
+// faults may only reshape timing: content, order, and counts must be exact.
+class StormRecvFaults final : public RecvLinkFaultHook {
+ public:
+  ReadStep Next(size_t /*remaining*/) override {
+    ++steps_;
+    ReadStep s;
+    s.max_len = 1 + steps_ % 3;
+    if (steps_ % 5 == 0) {
+      s.eintr_spins = 2;
+    }
+    if (steps_ % 17 == 0) {
+      s.delay_us = 10;
+    }
+    return s;
+  }
+  uint32_t DispatchDelayUs(uint64_t frame_index) override {
+    return frame_index % 4 == 0 ? 50 : 0;
+  }
+  uint32_t AdoptionDelayUs(uint64_t /*replacement_index*/) override { return 100; }
+
+ private:
+  uint64_t steps_ = 0;
+};
+
+class StormPlan final : public ClusterFaultPlan {
+ public:
+  LinkFaultHook* Link(uint32_t, uint32_t) override { return nullptr; }
+  ProgressFaultHook* Progress(uint32_t) override { return nullptr; }
+  RecvLinkFaultHook* RecvLink(uint32_t, uint32_t) override { return &faults_; }
+
+ private:
+  StormRecvFaults faults_;
+};
+
+TEST(TransportRecvTest, ReadFaultStormPreservesFifoAndContent) {
+  StormPlan plan;
+  RecvHarness h(&plan);
+  constexpr size_t kFrames = 50;
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<uint8_t> wire;
+  for (size_t i = 0; i < kFrames; ++i) {
+    std::vector<uint8_t> p(1 + (i * 13) % 47);
+    for (size_t j = 0; j < p.size(); ++j) {
+      p[j] = static_cast<uint8_t>(i ^ (j * 3));
+    }
+    const std::vector<uint8_t> frame = RecvHarness::Frame(p);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+    payloads.push_back(std::move(p));
+  }
+  Socket peer = h.Dial();
+  ASSERT_TRUE(peer.WriteAll(wire));
+  ASSERT_TRUE(h.WaitForCount(kFrames));
+  const auto got = h.Received();
+  ASSERT_EQ(got.size(), kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i], payloads[i]) << "frame " << i;
+  }
+  EXPECT_EQ(h.transport().recv_torn_frames(), 0u);
+}
+
+// Regression: Shutdown() while a receiver is blocked mid-frame and a silent replacement
+// sits pending must return promptly. The receiver's teardown-unblocked read must neither
+// count as a torn frame nor adopt the pending connection (whose dialer never closes it —
+// nothing would ever unblock that read).
+TEST(TransportRecvTest, ShutdownWithPendingReplacementAndBlockedReadReturns) {
+  RecvHarness h;
+  Socket a = h.Dial();
+  std::vector<uint8_t> payload(100, 0xab);
+  const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
+  // Park the receiver mid-body on connection A...
+  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(frame).first(9 + 40)));
+  // ...queue a replacement whose dialer stays silent forever...
+  Socket b = h.Dial();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...and tear down. Both sockets stay open across the call: only Shutdown itself may
+  // unblock the receiver.
+  const auto t0 = std::chrono::steady_clock::now();
+  h.transport().Shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_EQ(h.transport().recv_torn_frames(), 0u);  // local teardown is not a link fault
+}
+
+// Regression: a dialer that connects but never sends its identifying handshake must not
+// pin Shutdown() forever (shutting the listener down unblocks Accept, but not an
+// in-progress handshake read — Shutdown must unblock that fd explicitly).
+TEST(TransportTest, ShutdownUnblocksStalledHandshake) {
+  TcpTransport t(0, 1);  // no peers, but the acceptor loop still runs
+  const uint16_t port = t.Listen();
+  TcpTransport::Callbacks cb;
+  cb.on_data = [](uint32_t, std::span<const uint8_t>) {};
+  cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
+  cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
+  cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+  t.Start({port}, std::move(cb));
+  Socket silent = Socket::ConnectLocal(port);
+  ASSERT_TRUE(silent.valid());
+  // Let the acceptor pick the connection up and park in the handshake read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  t.Shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+// Stress regression for the adopt-after-shutdown race: a replacement queued around the
+// instant of Shutdown()'s sweep must never be adopted afterwards (its dialer never closes
+// it, so adoption would hang the receiver join). The test races Shutdown against the
+// acceptor queuing a silent replacement; on regression it hangs rather than fails.
+TEST(TransportRecvTest, ShutdownNeverAdoptsLateReplacementStress) {
+  for (int iter = 0; iter < 15; ++iter) {
+    auto h = std::make_unique<RecvHarness>();
+    const std::vector<uint8_t> p = {1, 2, 3};
+    {
+      Socket a = h->Dial();
+      ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p)));
+    }  // boundary close: the receiver drains A and goes back to waiting
+    ASSERT_TRUE(h->WaitForCount(1));
+    Socket b = h->Dial();  // silent replacement, racing the sweep below
+    if (iter % 2 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * iter));
+    }
+    h->transport().Shutdown();  // must return regardless of where b's adoption raced
+  }
 }
 
 // A keyed counting vertex used for the distributed equivalence tests.
