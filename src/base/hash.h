@@ -5,6 +5,8 @@
 #ifndef SRC_BASE_HASH_H_
 #define SRC_BASE_HASH_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -36,6 +38,28 @@ inline uint64_t HashBytes(std::string_view bytes) {
 }
 
 inline uint64_t HashString(const std::string& s) { return HashBytes(std::string_view(s)); }
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the checkpoint-image footer so a
+// torn image is rejected by content, not only by rename atomicity. Deterministic across
+// platforms; table built once on first use.
+inline uint32_t Crc32(const uint8_t* data, size_t len, uint32_t crc = 0) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 }  // namespace naiad
 

@@ -126,6 +126,11 @@ class Controller {
   void NoteWorkerParked() { parked_.fetch_add(1, std::memory_order_acq_rel); }
   void NoteWorkerUnparked() { parked_.fetch_sub(1, std::memory_order_acq_rel); }
 
+  // Local-quiescence probe for the cluster checkpoint barrier: no worker inbox holds an
+  // undelivered item. Racy by nature — callers must re-check across barrier rounds (the
+  // two-round stability rule) rather than trust one reading.
+  bool InboxesEmpty() const { return AllInboxesEmpty(); }
+
   // Traffic statistics (Fig. 6a / 6c accounting).
   std::atomic<uint64_t> data_bytes_sent{0};
   std::atomic<uint64_t> data_bundles_sent{0};

@@ -75,7 +75,8 @@ std::vector<uint8_t> CheckpointProcess(Controller& ctl) {
   return std::move(w.buffer());
 }
 
-std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image) {
+std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image,
+                                        std::vector<ProgressUpdate>* restored_pending) {
   NAIAD_CHECK(!ctl.started());
   ByteReader r(image);
   NAIAD_CHECK(r.ReadU32() == kMagic) << "not a checkpoint image";
@@ -88,9 +89,38 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
     in.closed = !open;
   }
   NAIAD_CHECK(r.ok());
+  if (restored_pending != nullptr) {
+    // Skim ahead to the pending-notification section so the caller has the peer-bound
+    // updates before Start() (vertex bodies are opaque; skip by their length prefixes).
+    restored_pending->clear();
+    ByteReader skim = r;
+    const uint32_t n_vertices = skim.ReadU32();
+    for (uint32_t i = 0; i < n_vertices && skim.ok(); ++i) {
+      skim.ReadU32();
+      skim.ReadU32();
+      const uint32_t len = skim.ReadU32();
+      NAIAD_CHECK(skim.ok() && skim.remaining() >= len);
+      for (uint32_t skip = 0; skip < len; ++skip) {
+        skim.ReadU8();
+      }
+    }
+    const uint32_t n_pending = skim.ReadU32();
+    for (uint32_t i = 0; i < n_pending; ++i) {
+      const StageId s = skim.ReadU32();
+      skim.ReadU32();  // vertex index: the tracker counts per-location, not per-vertex
+      Timestamp t;
+      NAIAD_CHECK(t.Decode(skim));
+      restored_pending->push_back(
+          ProgressUpdate{Pointstamp{t, Location::Stage(s)}, +1});
+    }
+    NAIAD_CHECK(skim.ok());
+  }
 
-  ctl.SetStartOverride([image = std::move(image), inputs](Controller& c,
-                                                          ProgressBuffer& updates) {
+  // With a non-null restored_pending the pending +1s are deferred to the caller's
+  // post-Start Broadcast (see checkpoint.h); only the requests themselves are re-created.
+  const bool defer_pending = restored_pending != nullptr;
+  ctl.SetStartOverride([image = std::move(image), inputs, defer_pending](
+                           Controller& c, ProgressBuffer& updates) {
     const uint64_t span_t0 = obs::MonotonicNs();
     ByteReader r(image);
     NAIAD_CHECK(r.ReadU32() == kMagic);
@@ -100,7 +130,10 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
       const bool open = r.ReadU8() != 0;
       const uint64_t epoch = r.ReadU64();
       if (open) {
-        updates.Add(Pointstamp{Timestamp(epoch), Location::Stage(s)}, +1);
+        // Mirror Start(): one active pointstamp per external producer, one per process,
+        // seeded at the full cluster-wide count on every process (never broadcast).
+        updates.Add(Pointstamp{Timestamp(epoch), Location::Stage(s)},
+                    static_cast<int64_t>(c.config().processes));
       }
     }
     const uint32_t n_vertices = r.ReadU32();
@@ -127,7 +160,9 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
       VertexBase* v = c.LocalVertex(s, index);
       NAIAD_CHECK(v != nullptr);
       v->worker().AddNotificationRequest(v, t);
-      updates.Add(Pointstamp{t, Location::Stage(s)}, +1);
+      if (!defer_pending) {
+        updates.Add(Pointstamp{t, Location::Stage(s)}, +1);
+      }
     }
     NAIAD_CHECK(r.ok());
     if (c.obs().tracer().enabled()) {

@@ -9,9 +9,10 @@
 // Restore targets a freshly-built, not-yet-started controller with an identical graph: the
 // image is applied during Start() in place of the default initial pointstamps.
 //
-// Scope: per-process images. Multi-process checkpointing additionally needs a global quiet
-// point (the cluster termination barrier provides one); the Fig. 7c benchmark exercises
-// the single-process multi-worker path, as DESIGN.md documents.
+// Scope: per-process images. Multi-process checkpointing layers a global quiet point on
+// top (src/ft/cluster_recovery.h runs the checkpoint barrier of src/net/cluster.h, then
+// calls CheckpointProcess on every process with a cluster-consistent epoch tag); the
+// Fig. 7c benchmark exercises the single-process multi-worker path, as DESIGN.md documents.
 
 #ifndef SRC_FT_CHECKPOINT_H_
 #define SRC_FT_CHECKPOINT_H_
@@ -38,7 +39,19 @@ struct InputEpochs {
 // Arranges for `ctl` (not started, same graph shape) to boot from `image` instead of from
 // epoch 0. Returns the saved input positions so the caller can fast-forward its
 // InputHandles (InputHandle::RestoreEpoch). Must be called before ctl.Start().
-std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image);
+//
+// Cluster semantics: open-input pointstamps are reseeded at the full cluster-wide count
+// (+processes, mirroring Start), because every process seeds the same global view. Pending
+// notification requests, by contrast, are per-process local state whose +1s were broadcast
+// to peers in the original run. When `restored_pending` is null (single-process restore)
+// they are seeded locally like everything else. When non-null, ownership of those +1s
+// transfers to the caller: they are NOT seeded at Start (only the notification requests
+// are re-registered), and the caller must inject them via ProgressRouter::Broadcast after
+// Start() and strictly before feeding any input — the normal broadcast channel is what
+// orders them ahead of this process's next open-input retirement at every peer, and the
+// restored open-input pointstamp dominates them until then (see progress_router.h).
+std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image,
+                                        std::vector<ProgressUpdate>* restored_pending = nullptr);
 
 }  // namespace naiad
 

@@ -1,0 +1,792 @@
+#include "src/ft/cluster_recovery.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/base/stopwatch.h"
+#include "src/ft/recovery.h"
+#include "src/net/progress_router.h"
+#include "src/ser/bytes.h"
+
+namespace naiad {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4e4d4653;  // "NMFS"
+
+// ---- supervisor <-> member pipe records (fixed 25 bytes) ----------------------------
+
+struct Record {
+  uint8_t tag = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+constexpr size_t kRecordBytes = 25;
+
+// member -> supervisor
+constexpr uint8_t kStPort = 1;           // a = listen port
+constexpr uint8_t kStStarting = 2;       // a = epoch, b = generation
+constexpr uint8_t kStCheckpointing = 3;  // a = epoch, b = generation
+constexpr uint8_t kStCommitted = 4;      // a = epoch
+constexpr uint8_t kStRecovering = 5;     // a = candidate generation
+constexpr uint8_t kStDone = 6;           // a = recoveries, b = committed epochs
+
+// supervisor -> member
+constexpr uint8_t kCtPort = 1;     // a = slot, b = port (one record per slot)
+constexpr uint8_t kCtRecover = 2;  // a = generation being aborted
+constexpr uint8_t kCtGo = 3;       // a = new generation, b = restore epoch (or none)
+constexpr uint8_t kCtExit = 4;
+
+bool WriteRecord(int fd, const Record& rec) {
+  uint8_t buf[kRecordBytes];
+  buf[0] = rec.tag;
+  std::memcpy(buf + 1, &rec.a, 8);
+  std::memcpy(buf + 9, &rec.b, 8);
+  std::memcpy(buf + 17, &rec.c, 8);
+  size_t off = 0;
+  while (off < sizeof(buf)) {
+    const ssize_t n = ::write(fd, buf + off, sizeof(buf) - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Record ParseRecord(const uint8_t* buf) {
+  Record rec;
+  rec.tag = buf[0];
+  std::memcpy(&rec.a, buf + 1, 8);
+  std::memcpy(&rec.b, buf + 9, 8);
+  std::memcpy(&rec.c, buf + 17, 8);
+  return rec;
+}
+
+bool ReadRecord(int fd, Record* rec) {
+  uint8_t buf[kRecordBytes];
+  size_t off = 0;
+  while (off < sizeof(buf)) {
+    const ssize_t n = ::read(fd, buf + off, sizeof(buf) - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  *rec = ParseRecord(buf);
+  return true;
+}
+
+// ---- the member (child) side --------------------------------------------------------
+
+// One cluster member: a full Controller/TcpTransport/ClusterControl stack plus the pipe
+// protocol to the supervisor. Lives in the forked child; never returns to the test body
+// (the child _exits with Run's result).
+class MemberRunner {
+ public:
+  MemberRunner(const ClusterRunConfig& cfg, uint32_t slot, int status_fd, int ctl_fd,
+               bool replacement)
+      : cfg_(cfg),
+        slot_(slot),
+        status_fd_(status_fd),
+        ctl_fd_(ctl_fd),
+        replacement_(replacement) {}
+
+  int Run(const ClusterAppFactory& factory);
+
+ private:
+  void SendStatus(uint8_t tag, uint64_t a, uint64_t b) {
+    NAIAD_CHECK(WriteRecord(status_fd_, Record{tag, a, b, 0}));
+  }
+
+  void ControlReaderMain();
+  // Blocks for a GO record; false means EXIT arrived (or the supervisor died) instead.
+  bool WaitGo(uint32_t* gen, uint64_t* restore);
+  // After DONE: 0 = EXIT (normal), 1 = GO (a restart raced our completion; rejoin it).
+  int WaitExitOrGo(uint32_t* gen, uint64_t* restore);
+
+  void Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch);
+  void Teardown();
+  // Runs epochs [start_epoch, total) plus the termination barrier; false = recovery.
+  bool RunEpochs(uint64_t start_epoch);
+  bool ShouldCheckpoint(uint64_t e) const {
+    return (cfg_.checkpoint_every != 0 && (e + 1) % cfg_.checkpoint_every == 0) ||
+           e + 1 == cfg_.total_epochs;
+  }
+  void NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch);
+  int Cleanup(int rc) {
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    return rc;
+  }
+
+  const ClusterRunConfig& cfg_;
+  const uint32_t slot_;
+  const int status_fd_;
+  const int ctl_fd_;
+  const bool replacement_;
+  const ClusterAppFactory* factory_ = nullptr;
+  std::vector<uint16_t> ports_;
+
+  std::unique_ptr<Controller> ctl_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::unique_ptr<DistributedProgressRouter> router_;
+  std::unique_ptr<ClusterControl> control_;
+  std::unique_ptr<ClusterApp> app_;
+  uint32_t gen_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t total_commits_ = 0;
+
+  std::thread reader_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  ClusterControl* current_control_ = nullptr;  // guarded by sup_mu_
+  uint32_t current_gen_ = 0;                   // guarded by sup_mu_
+  bool have_go_ = false;
+  uint32_t go_gen_ = 0;
+  uint64_t go_restore_ = kNoManifestEpoch;
+  bool exit_requested_ = false;
+};
+
+void MemberRunner::ControlReaderMain() {
+  Record rec;
+  while (ReadRecord(ctl_fd_, &rec)) {
+    std::unique_lock<std::mutex> lock(sup_mu_);
+    switch (rec.tag) {
+      case kCtRecover:
+        // Generation-guarded: a hint for an already-abandoned generation must not abort
+        // the one we just rebuilt.
+        if (current_control_ != nullptr && current_gen_ == rec.a) {
+          current_control_->RequestRecovery();
+        }
+        break;
+      case kCtGo:
+        go_gen_ = static_cast<uint32_t>(rec.a);
+        go_restore_ = rec.b;
+        have_go_ = true;
+        sup_cv_.notify_all();
+        break;
+      case kCtExit:
+        exit_requested_ = true;
+        sup_cv_.notify_all();
+        return;
+      default:
+        NAIAD_CHECK(false) << "bad supervisor record";
+    }
+  }
+  // EOF: the supervisor died. Unblock the main thread so it can exit.
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  exit_requested_ = true;
+  sup_cv_.notify_all();
+}
+
+bool MemberRunner::WaitGo(uint32_t* gen, uint64_t* restore) {
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  sup_cv_.wait(lock, [&] { return have_go_ || exit_requested_; });
+  if (!have_go_) {
+    return false;
+  }
+  have_go_ = false;
+  *gen = go_gen_;
+  *restore = go_restore_;
+  return true;
+}
+
+int MemberRunner::WaitExitOrGo(uint32_t* gen, uint64_t* restore) {
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  sup_cv_.wait(lock, [&] { return have_go_ || exit_requested_; });
+  if (have_go_) {  // records arrive in order, so a pending GO precedes any EXIT
+    have_go_ = false;
+    *gen = go_gen_;
+    *restore = go_restore_;
+    return 1;
+  }
+  return 0;
+}
+
+void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch) {
+  gen_ = gen;
+  Config c;
+  c.process_id = slot_;
+  c.processes = cfg_.processes;
+  c.workers_per_process = cfg_.workers_per_process;
+  c.batch_size = cfg_.batch_size;
+  c.default_parallelism = cfg_.default_parallelism;
+  c.obs = cfg_.obs;
+  if (!c.obs.trace_path.empty()) {
+    c.obs.trace_path += ".p" + std::to_string(slot_);  // one file per member process
+  }
+  ctl_ = std::make_unique<Controller>(c);
+  if (!transport_) {
+    transport_ = std::make_unique<TcpTransport>(slot_, cfg_.processes);
+    const uint16_t port = transport_->Listen(ports_[slot_]);
+    NAIAD_CHECK(port == ports_[slot_]);
+  }
+  transport_->SetFaultPlan(cfg_.fault_plan);
+  transport_->SetObs(&ctl_->obs());
+  transport_->SetGeneration(gen);
+  router_ = std::make_unique<DistributedProgressRouter>(
+      ctl_.get(), transport_.get(), cfg_.strategy, /*hold_limit=*/1024,
+      cfg_.fault_plan != nullptr ? cfg_.fault_plan->Progress(slot_) : nullptr);
+  ctl_->SetProgressRouter(router_.get());
+  ctl_->SetDataTransport(transport_.get());
+  control_ = std::make_unique<ClusterControl>(ctl_.get(), transport_.get(), router_.get());
+  app_ = (*factory_)(*ctl_);
+
+  std::vector<ProgressUpdate> pending;
+  if (restore_epoch != kNoManifestEpoch) {
+    CheckpointReadResult res =
+        ReadCheckpointFileEx(ClusterImagePath(cfg_.ckpt_dir, slot_, restore_epoch));
+    // The manifest commit rule guarantees this image was durable before the epoch became
+    // adoptable, so anything other than a clean read is a protocol violation.
+    NAIAD_CHECK(res.ok()) << "manifest-committed image unreadable: epoch " << restore_epoch
+                          << " status " << static_cast<int>(res.status);
+    const std::vector<InputEpochs> inputs =
+        RestoreProcess(*ctl_, std::move(res.image), &pending);
+    app_->RestoreInputs(inputs);
+    *start_epoch = restore_epoch + 1;
+  } else {
+    *start_epoch = 0;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    current_control_ = control_.get();
+    current_gen_ = gen;
+  }
+  TcpTransport::Callbacks cb;
+  Controller* ctl = ctl_.get();
+  DistributedProgressRouter* router = router_.get();
+  ClusterControl* control = control_.get();
+  cb.on_data = [ctl](uint32_t, std::span<const uint8_t> p) { ctl->ReceiveRemoteBundle(p); };
+  cb.on_progress = [router](uint32_t src, std::span<const uint8_t> p) {
+    router->OnProgressFrame(src, p);
+  };
+  cb.on_progress_acc = [router](uint32_t src, std::span<const uint8_t> p) {
+    router->OnAccumulatorFrame(src, p);
+  };
+  cb.on_control = [control](uint32_t src, std::span<const uint8_t> p) {
+    control->HandleControl(src, p);
+  };
+  cb.on_peer_down = [control](uint32_t peer) { control->ReportFailure(peer); };
+  transport_->Start(ports_, std::move(cb));
+  ctl_->Start();
+  // Restored pending-notification +1s travel the ordinary broadcast channel, after Start
+  // and strictly before any input is fed (see RestoreProcess's contract).
+  if (!pending.empty()) {
+    router_->Broadcast(std::move(pending));
+  }
+}
+
+void MemberRunner::Teardown() {
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    current_control_ = nullptr;
+  }
+  transport_->Abort();  // unblocks senders mid-write; joins all transport threads
+  ctl_->Stop();
+  app_.reset();
+  control_.reset();
+  router_.reset();
+  transport_.reset();  // releases the listen socket so Build can rebind the same port
+  ctl_.reset();
+}
+
+bool MemberRunner::RunEpochs(uint64_t start_epoch) {
+  auto write_image = [this](uint64_t epoch) {
+    std::vector<uint8_t> image = CheckpointProcess(*ctl_);
+    return WriteCheckpointFile(ClusterImagePath(cfg_.ckpt_dir, slot_, epoch), image);
+  };
+  auto write_manifest = [this](uint64_t epoch) {
+    return WriteClusterManifest(cfg_.ckpt_dir, epoch, cfg_.processes);
+  };
+  const bool dbg = ::getenv("NAIAD_CLUSTER_DEBUG") != nullptr;
+  for (uint64_t e = start_epoch; e < cfg_.total_epochs; ++e) {
+    SendStatus(kStStarting, e, gen_);
+    app_->FeedEpoch(e);
+    if (dbg) std::fprintf(stderr, "[p%u g%u] fed epoch %llu\n", slot_, gen_, (unsigned long long)e);
+    ctl_->tracker().WaitFor(
+        [&] { return app_->EpochPassed(e) || control_->recovery_requested(); });
+    if (dbg) std::fprintf(stderr, "[p%u g%u] epoch %llu passed (rec=%d)\n", slot_, gen_, (unsigned long long)e, (int)control_->recovery_requested());
+    if (control_->recovery_requested()) {
+      return false;
+    }
+    if (ShouldCheckpoint(e)) {
+      SendStatus(kStCheckpointing, e, gen_);
+      if (dbg) std::fprintf(stderr, "[p%u g%u] entering ckpt barrier e=%llu\n", slot_, gen_, (unsigned long long)e);
+      if (!control_->RunCheckpointBarrier(e, write_image, write_manifest)) {
+        NAIAD_CHECK(control_->recovery_requested()) << "cluster checkpoint failed outright";
+        return false;
+      }
+      ++total_commits_;
+      SendStatus(kStCommitted, e, gen_);
+      if (dbg) std::fprintf(stderr, "[p%u g%u] ckpt committed e=%llu\n", slot_, gen_, (unsigned long long)e);
+    }
+  }
+  app_->CloseInputs();
+  if (dbg) std::fprintf(stderr, "[p%u g%u] inputs closed; termination barrier\n", slot_, gen_);
+  if (!control_->RunTerminationBarrier()) {
+    return false;
+  }
+  ctl_->Stop();
+  return true;
+}
+
+void MemberRunner::NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch) {
+  ++recoveries_;
+  ctl_->obs().tracer().ControlSpan(
+      obs::TraceKind::kClusterRecover, t0_ns, obs::MonotonicNs(),
+      restore_epoch == kNoManifestEpoch ? 0 : restore_epoch, gen_,
+      restore_epoch == kNoManifestEpoch ? 0 : 1);
+  if (obs::ProcessMetrics* pm = ctl_->obs().metrics().process()) {
+    pm->cluster_recoveries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int MemberRunner::Run(const ClusterAppFactory& factory) {
+  factory_ = &factory;
+  // Phase A: port rendezvous. A fresh member binds an ephemeral port and announces it; a
+  // replacement inherits the victim's published port from the map.
+  if (!replacement_) {
+    transport_ = std::make_unique<TcpTransport>(slot_, cfg_.processes);
+    const uint16_t port = transport_->Listen(0);
+    SendStatus(kStPort, port, 0);
+  }
+  ports_.resize(cfg_.processes);
+  for (uint32_t i = 0; i < cfg_.processes; ++i) {
+    Record rec;
+    if (!ReadRecord(ctl_fd_, &rec)) {
+      return 1;
+    }
+    NAIAD_CHECK(rec.tag == kCtPort && rec.a < cfg_.processes);
+    ports_[rec.a] = static_cast<uint16_t>(rec.b);
+  }
+  reader_ = std::thread([this] { ControlReaderMain(); });
+
+  uint64_t start_epoch = 0;
+  if (replacement_) {
+    // A replacement is born into a coordinated restart: rendezvous, then build at GO.
+    const uint64_t t0 = obs::MonotonicNs();
+    SendStatus(kStRecovering, 0, 0);
+    uint32_t gen = 0;
+    uint64_t restore = kNoManifestEpoch;
+    if (!WaitGo(&gen, &restore)) {
+      return Cleanup(0);  // the run finished without us; nothing to rejoin
+    }
+    Build(gen, restore, &start_epoch);
+    NoteRecovered(t0, restore);
+  } else {
+    Build(0, kNoManifestEpoch, &start_epoch);
+  }
+
+  for (;;) {
+    if (RunEpochs(start_epoch)) {
+      SendStatus(kStDone, recoveries_, total_commits_);
+      uint32_t gen = 0;
+      uint64_t restore = kNoManifestEpoch;
+      if (WaitExitOrGo(&gen, &restore) == 0) {
+        break;
+      }
+      // A restart was ordered after we finished (the kill raced the termination verdict):
+      // rejoin it. The restored epoch is final, so the re-run is just the barriers.
+      const uint64_t t0 = obs::MonotonicNs();
+      Teardown();
+      Build(gen, restore, &start_epoch);
+      NoteRecovered(t0, restore);
+      continue;
+    }
+    // Recovery: tear the whole generation down, rendezvous, rebuild at GO.
+    const uint64_t t0 = obs::MonotonicNs();
+    const uint32_t candidate = gen_ + 1;
+    Teardown();
+    SendStatus(kStRecovering, candidate, 0);
+    uint32_t gen = 0;
+    uint64_t restore = kNoManifestEpoch;
+    if (!WaitGo(&gen, &restore)) {
+      return Cleanup(1);  // the supervisor gave up on the run
+    }
+    Build(gen, restore, &start_epoch);
+    NoteRecovered(t0, restore);
+  }
+  // Supervised exit: every member reported DONE, so no peer is still inside a barrier and
+  // link teardown can no longer be mistaken for a death.
+  transport_->Shutdown();
+  return Cleanup(0);
+}
+
+}  // namespace
+
+// ---- paths and manifest -------------------------------------------------------------
+
+std::string ClusterImagePath(const std::string& dir, uint32_t process, uint64_t epoch) {
+  return dir + "/ckpt_p" + std::to_string(process) + "_e" + std::to_string(epoch);
+}
+
+std::string ClusterManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes) {
+  ByteWriter w;
+  w.WriteU32(kManifestMagic);
+  w.WriteU64(epoch);
+  w.WriteU32(processes);
+  return WriteCheckpointFile(ClusterManifestPath(dir), w.buffer());
+}
+
+uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes) {
+  CheckpointReadResult res = ReadCheckpointFileEx(ClusterManifestPath(dir));
+  if (!res.ok()) {
+    return kNoManifestEpoch;  // absent or unverifiable: not adoptable, fall back to fresh
+  }
+  ByteReader r(res.image);
+  NAIAD_CHECK(r.ReadU32() == kManifestMagic) << "not a cluster manifest";
+  const uint64_t epoch = r.ReadU64();
+  NAIAD_CHECK(r.ReadU32() == expect_processes) << "manifest from a different cluster shape";
+  NAIAD_CHECK(r.ok());
+  return epoch;
+}
+
+// ---- the supervisor (parent) side ---------------------------------------------------
+
+ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
+                                                 const ClusterAppFactory& factory) {
+  const ClusterRunConfig& cfg = opts.cfg;
+  const uint32_t n = cfg.processes;
+  NAIAD_CHECK(n >= 2);
+  NAIAD_CHECK(cfg.total_epochs >= 2);
+  NAIAD_CHECK(!cfg.ckpt_dir.empty());
+  // The supervisor writes into pipes whose reader may have been SIGKILLed; EPIPE is
+  // handled, SIGPIPE must not be fatal.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  ClusterKillOutcome out;
+  Stopwatch sw;
+  const bool dbg = ::getenv("NAIAD_CLUSTER_DEBUG") != nullptr;
+
+  struct Member {
+    pid_t pid = -1;
+    int status_fd = -1;  // read end of the member's status pipe
+    int ctl_fd = -1;     // write end of the member's control pipe
+    bool done = false;
+    bool exit_sent = false;
+    bool eof = false;
+    bool accounted = false;   // restart rendezvous: DONE or RECOVERING seen since the kill
+    bool recovering = false;
+    uint64_t done_recoveries = 0;
+    uint64_t done_commits = 0;
+    std::vector<uint8_t> buf;
+  };
+  std::vector<Member> members(n);
+
+  // The supervisor must stay single-threaded: every member is forked from it, and a fork
+  // of a multi-threaded process would start its child with locks in unknowable states.
+  auto spawn = [&](uint32_t slot, bool replacement) {
+    int sp[2];
+    int cp[2];
+    NAIAD_CHECK(::pipe(sp) == 0);
+    NAIAD_CHECK(::pipe(cp) == 0);
+    const pid_t pid = ::fork();
+    NAIAD_CHECK(pid >= 0);
+    if (pid == 0) {
+      ::close(sp[0]);
+      ::close(cp[1]);
+      for (const Member& m : members) {  // drop inherited ends of the other members' pipes
+        if (m.status_fd >= 0) ::close(m.status_fd);
+        if (m.ctl_fd >= 0) ::close(m.ctl_fd);
+      }
+      MemberRunner runner(cfg, slot, sp[1], cp[0], replacement);
+      ::_exit(runner.Run(factory));
+    }
+    ::close(sp[1]);
+    ::close(cp[0]);
+    members[slot] = Member{};
+    members[slot].pid = pid;
+    members[slot].status_fd = sp[0];
+    members[slot].ctl_fd = cp[1];
+  };
+
+  auto send_ctl = [&](uint32_t slot, const Record& rec) {
+    if (members[slot].ctl_fd >= 0) {
+      WriteRecord(members[slot].ctl_fd, rec);  // EPIPE from an exited member is benign
+    }
+  };
+
+  // Seed-derived kill schedule: victim, epoch, phase (mid-feed vs inside the checkpoint
+  // barrier), and in-phase delay are all pure functions of the seed.
+  uint32_t victim = 0;
+  uint64_t kill_epoch = 0;
+  bool barrier_kill = false;
+  uint32_t kill_delay_us = 0;
+  if (opts.inject_kill) {
+    victim = static_cast<uint32_t>(opts.seed % n);
+    kill_epoch = 1 + opts.seed % (cfg.total_epochs - 1);
+    Rng kr(HashCombine(opts.seed, HashString("CLUSTER-KILL")));
+    barrier_kill = (kr.Next() & 1) != 0;
+    kill_delay_us = static_cast<uint32_t>(kr.Below(2000));
+  }
+  out.victim = victim;
+  out.kill_epoch = kill_epoch;
+  out.kill_in_barrier = barrier_kill;
+
+  for (uint32_t p = 0; p < n; ++p) {
+    spawn(p, /*replacement=*/false);
+  }
+
+  std::vector<uint16_t> ports(n, 0);
+  uint32_t ports_seen = 0;
+  bool ports_sent = false;
+  bool killed = false;
+  bool restart_pending = false;
+  uint32_t cur_gen = 0;
+  bool failed = false;
+
+  auto do_kill = [&] {
+    if (kill_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(kill_delay_us));
+    }
+    ::kill(members[victim].pid, SIGKILL);
+    int ws = 0;
+    ::waitpid(members[victim].pid, &ws, 0);
+    ::close(members[victim].status_fd);
+    ::close(members[victim].ctl_fd);
+    // Cleared before spawn(): the replacement's pipes may reuse these fd numbers, and the
+    // child's close-other-members sweep must not tear down its own fresh pipe ends.
+    members[victim].status_fd = -1;
+    members[victim].ctl_fd = -1;
+    killed = true;
+    out.killed = true;
+    ++cur_gen;
+    restart_pending = true;
+    for (Member& m : members) {
+      m.accounted = m.done;  // a member already done before the kill stands as accounted
+      m.recovering = false;
+    }
+    // Replacement first (it needs the port map before anyone can dial it), then hint the
+    // survivors; the in-band kRecover broadcast usually beats this, the hint is liveness.
+    spawn(victim, /*replacement=*/true);
+    for (uint32_t j = 0; j < n; ++j) {
+      send_ctl(victim, Record{kCtPort, j, ports[j], 0});
+    }
+    for (uint32_t p = 0; p < n; ++p) {
+      if (p != victim && !members[p].done) {
+        send_ctl(p, Record{kCtRecover, cur_gen - 1, 0, 0});
+      }
+    }
+  };
+
+  auto maybe_release_restart = [&] {
+    if (!restart_pending) {
+      return;
+    }
+    for (const Member& m : members) {
+      if (!m.eof && !m.accounted) {
+        return;
+      }
+    }
+    restart_pending = false;
+    bool any_recovering = false;
+    for (uint32_t p = 0; p < n; ++p) {
+      if (p != victim && members[p].recovering) {
+        any_recovering = true;
+      }
+    }
+    if (!any_recovering) {
+      // Every survivor finished before the restart reached it (the kill raced the
+      // termination verdict): the run is over, the replacement is superfluous.
+      send_ctl(victim, Record{kCtExit, 0, 0, 0});
+      members[victim].exit_sent = true;
+      members[victim].done = true;
+      return;
+    }
+    const uint64_t restore = ReadClusterManifest(cfg.ckpt_dir, n);
+    out.restore_epoch = restore;
+    for (uint32_t p = 0; p < n; ++p) {
+      members[p].done = false;  // a finished member ordered into a restart reports anew
+      send_ctl(p, Record{kCtGo, cur_gen, restore, 0});
+    }
+  };
+
+  auto handle = [&](uint32_t p, const Record& rec) {
+    switch (rec.tag) {
+      case kStPort:
+        NAIAD_CHECK(!ports_sent);
+        ports[p] = static_cast<uint16_t>(rec.a);
+        if (++ports_seen == n) {
+          for (uint32_t m = 0; m < n; ++m) {
+            for (uint32_t j = 0; j < n; ++j) {
+              send_ctl(m, Record{kCtPort, j, ports[j], 0});
+            }
+          }
+          ports_sent = true;
+          out.launched = true;
+        }
+        break;
+      case kStStarting:
+        if (opts.inject_kill && !killed && !barrier_kill && p == victim &&
+            rec.a == kill_epoch) {
+          do_kill();
+        }
+        break;
+      case kStCheckpointing:
+        if (opts.inject_kill && !killed && barrier_kill && p == victim &&
+            rec.a >= kill_epoch) {
+          do_kill();
+        }
+        break;
+      case kStCommitted:
+        break;
+      case kStRecovering:
+        if (restart_pending) {
+          members[p].accounted = true;
+          members[p].recovering = true;
+        } else if (!killed) {
+          if (dbg) std::fprintf(stderr, "[sup] member %u recovering with no kill\n", p);
+          failed = true;  // a recovery with no kill means a member falsely suspected death
+        }
+        break;
+      case kStDone:
+        members[p].done = true;
+        members[p].done_recoveries = rec.a;
+        members[p].done_commits = rec.b;
+        members[p].accounted = true;
+        break;
+      default:
+        if (dbg) std::fprintf(stderr, "[sup] bad record tag %u from %u\n", rec.tag, p);
+        failed = true;
+        break;
+    }
+    if (dbg) std::fprintf(stderr, "[sup] rec p%u tag=%u a=%llu b=%llu\n", p, rec.tag,
+                          (unsigned long long)rec.a, (unsigned long long)rec.b);
+  };
+
+  for (;;) {
+    bool all_done = true;
+    for (const Member& m : members) {
+      if (!m.done && !(m.eof && m.exit_sent)) {
+        all_done = false;
+      }
+    }
+    if (ports_sent && all_done && !restart_pending) {
+      break;
+    }
+    if (failed || sw.ElapsedSeconds() > 180.0) {
+      failed = true;
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<uint32_t> idx;
+    for (uint32_t p = 0; p < n; ++p) {
+      if (members[p].status_fd >= 0) {
+        fds.push_back(pollfd{members[p].status_fd, POLLIN, 0});
+        idx.push_back(p);
+      }
+    }
+    if (fds.empty()) {
+      if (dbg) std::fprintf(stderr, "[sup] no live status fds\n");
+      failed = true;
+      break;
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      failed = true;
+      break;
+    }
+    for (size_t i = 0; i < fds.size() && !failed; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const uint32_t p = idx[i];
+      uint8_t tmp[512];
+      const ssize_t got = ::read(members[p].status_fd, tmp, sizeof(tmp));
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      if (got <= 0) {
+        ::close(members[p].status_fd);
+        members[p].status_fd = -1;
+        members[p].eof = true;
+        if (!members[p].exit_sent) {
+          if (dbg) std::fprintf(stderr, "[sup] member %u EOF without exit\n", p);
+          failed = true;  // a member died without being told to exit
+        }
+        continue;
+      }
+      Member& m = members[p];
+      m.buf.insert(m.buf.end(), tmp, tmp + got);
+      size_t off = 0;
+      while (m.buf.size() - off >= kRecordBytes) {
+        const Record rec = ParseRecord(m.buf.data() + off);
+        off += kRecordBytes;
+        handle(p, rec);
+        if (m.buf.size() < off) {  // handle() killed + respawned this very slot
+          off = 0;
+          break;
+        }
+      }
+      m.buf.erase(m.buf.begin(), m.buf.begin() + static_cast<ptrdiff_t>(off));
+    }
+    maybe_release_restart();
+  }
+
+  if (!failed) {
+    for (uint32_t p = 0; p < n; ++p) {
+      if (!members[p].exit_sent) {
+        send_ctl(p, Record{kCtExit, 0, 0, 0});
+        members[p].exit_sent = true;
+      }
+    }
+  } else {
+    for (const Member& m : members) {
+      if (m.pid >= 0 && !m.eof) {
+        ::kill(m.pid, SIGKILL);
+      }
+    }
+  }
+  bool all_zero = true;
+  for (Member& m : members) {
+    if (m.pid < 0) {
+      continue;
+    }
+    int ws = 0;
+    ::waitpid(m.pid, &ws, 0);
+    if (!(WIFEXITED(ws) && WEXITSTATUS(ws) == 0)) {
+      all_zero = false;
+    }
+    if (m.status_fd >= 0) ::close(m.status_fd);
+    if (m.ctl_fd >= 0) ::close(m.ctl_fd);
+  }
+  out.ok = !failed && all_zero;
+  out.stats.elapsed_seconds = sw.ElapsedSeconds();
+  for (const Member& m : members) {
+    out.stats.recoveries = std::max(out.stats.recoveries, m.done_recoveries);
+    out.stats.checkpoint_epochs = std::max(out.stats.checkpoint_epochs, m.done_commits);
+  }
+  return out;
+}
+
+}  // namespace naiad

@@ -1,0 +1,127 @@
+// Cluster-wide checkpointing and single-process kill-and-recover (§3.4).
+//
+// This is the forked-process counterpart of src/net/cluster.h: N real OS processes, each a
+// full Controller + TcpTransport + DistributedProgressRouter + ClusterControl stack, driven
+// by a single-threaded supervisor (the test parent) over pipes. Because the members are
+// processes, one of them can be SIGKILLed mid-epoch; the survivors then run the coordinated
+// restart that the thread-mode cluster can only simulate.
+//
+// Protocol between a member and the supervisor (fixed 25-byte records, see
+// cluster_recovery.cc): the member announces its listen port, each epoch start, each
+// checkpoint attempt and commit, each recovery rendezvous, and final completion; the
+// supervisor distributes the port map, hints recovery after a kill, releases the restart
+// with a (generation, restore-epoch) GO record, and releases final teardown with EXIT —
+// teardown is supervisor-gated so a finished member can never be mistaken for a dead one
+// by a peer still inside a barrier.
+//
+// Recovery: on a recovery request (in-band kRecover, a peer-down report, or the supervisor
+// hint) every member aborts its barriers, tears its whole runtime down, reports RECOVERING,
+// and waits for GO. The supervisor forks a replacement for the killed slot, reads the last
+// manifest-complete checkpoint epoch (the manifest is written atomically and only after
+// every image is durable, so a kill during the barrier itself simply rolls back to the
+// previous manifest), and GOes everyone into the next generation: fresh Controller, same
+// fixed port, generation-tagged re-dial, RestoreProcess from the member's own image, input
+// replay from the recorded InputEpochs, and re-injection of restored pending-notification
+// +1s through the ordinary progress Broadcast channel.
+
+#ifndef SRC_FT_CLUSTER_RECOVERY_H_
+#define SRC_FT_CLUSTER_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/ft/checkpoint.h"
+#include "src/net/cluster.h"
+
+namespace naiad {
+
+// The application half of a cluster member. The factory builds the dataflow graph on a
+// not-yet-started controller; the harness then drives epochs through this interface.
+//
+// Contract (what makes checkpoint epochs clean cut points): the probe consulted by
+// EpochPassed must be downstream (in the could-result-in order) of every stage that
+// requests notifications, so an epoch that has passed the probe has no pending work other
+// than notifications the checkpoint captures; and FeedEpoch(e) must be deterministic given
+// (config, e) — replay after restore feeds the same records.
+class ClusterApp {
+ public:
+  virtual ~ClusterApp() = default;
+  // Feed this process's share of epoch `e` into the input handles (OnNext).
+  virtual void FeedEpoch(uint64_t epoch) = 0;
+  // Non-blocking: has `epoch` fully passed the app's probe? (Polled via WaitFor.)
+  virtual bool EpochPassed(uint64_t epoch) = 0;
+  // Fast-forward the input handles to the positions RestoreProcess recovered.
+  virtual void RestoreInputs(const std::vector<InputEpochs>& inputs) = 0;
+  // Close every input (OnCompleted), releasing the computation toward termination.
+  virtual void CloseInputs() = 0;
+};
+
+// Builds the graph for one member process; called once per generation on a fresh
+// controller, before Start().
+using ClusterAppFactory =
+    std::function<std::unique_ptr<ClusterApp>(Controller& ctl)>;
+
+struct ClusterRunConfig {
+  uint32_t processes = 3;
+  uint32_t workers_per_process = 2;
+  ProgressStrategy strategy = ProgressStrategy::kLocalGlobalAcc;
+  size_t batch_size = 4096;
+  uint32_t default_parallelism = 0;
+  uint64_t total_epochs = 6;
+  // A cluster checkpoint runs after epoch e when (e+1) % checkpoint_every == 0, and always
+  // after the final epoch (so the final state is always on disk for comparison).
+  uint64_t checkpoint_every = 2;
+  // Directory for per-process images and the MANIFEST; must exist.
+  std::string ckpt_dir;
+  // Optional fault plan (reset injection must be off: with on_peer_down armed, an injected
+  // reset is indistinguishable from a death). Must outlive the run.
+  ClusterFaultPlan* fault_plan = nullptr;
+  obs::ObsOptions obs;  // trace_path, when set, gets a ".p<id>" suffix per member
+};
+
+// Image and manifest naming inside ClusterRunConfig::ckpt_dir.
+std::string ClusterImagePath(const std::string& dir, uint32_t process, uint64_t epoch);
+std::string ClusterManifestPath(const std::string& dir);
+
+// Atomically publishes "checkpoint epoch `epoch` is complete for `processes` processes".
+// Called only by process 0, only after every process acked durable (the commit rule).
+bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes);
+
+// Returns the last committed checkpoint epoch, or kNoManifestEpoch when no (valid)
+// manifest exists. A manifest for a different process count fails loudly.
+inline constexpr uint64_t kNoManifestEpoch = ~uint64_t{0};
+uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes);
+
+struct ClusterKillOutcome {
+  bool launched = false;   // all members forked and the port map was distributed
+  bool ok = false;         // every member exited 0 after a supervised EXIT
+  bool killed = false;     // a victim was SIGKILLed
+  uint32_t victim = 0;
+  uint64_t kill_epoch = 0;
+  bool kill_in_barrier = false;        // kill targeted the checkpoint barrier, not the feed
+  uint64_t restore_epoch = kNoManifestEpoch;  // manifest epoch adopted (or none = fresh)
+  ClusterStats stats;      // recoveries / checkpoint_epochs / elapsed filled in
+};
+
+// Forks cfg.processes members running `factory`-built apps, optionally SIGKILLs one of
+// them at a seed-chosen point (victim, epoch, feed-vs-barrier phase, and in-phase delay are
+// all pure functions of `seed`), supervises the coordinated restart, and reaps everyone.
+// Determinism contract: the final epoch's checkpoint images are byte-identical to a clean
+// (inject_kill = false) run's for every seed — that is the property under test.
+class ClusterKillRecoverDriver {
+ public:
+  struct Options {
+    ClusterRunConfig cfg;
+    uint64_t seed = 0;
+    bool inject_kill = true;
+  };
+  static ClusterKillOutcome Run(const Options& opts, const ClusterAppFactory& factory);
+};
+
+}  // namespace naiad
+
+#endif  // SRC_FT_CLUSTER_RECOVERY_H_

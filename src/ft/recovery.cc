@@ -45,6 +45,40 @@ bool FsyncParentDir(const std::string& path) {
   return ok;
 }
 
+// Trailing footer of every published image: CRC-32 of the payload, then a magic word, both
+// little-endian u32. The magic distinguishes "pre-footer-era file" (and arbitrary garbage)
+// from "footer present but CRC mismatched" — both are kCorrupt, but the check order
+// matters: verify the magic first so random tail bytes are never treated as a CRC.
+constexpr uint32_t kFooterMagic = 0x4b504843u;  // "CHPK"
+constexpr size_t kFooterBytes = 8;
+
+void PutU32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | static_cast<uint32_t>(in[1]) << 8 |
+         static_cast<uint32_t>(in[2]) << 16 | static_cast<uint32_t>(in[3]) << 24;
+}
+
+bool WriteAllFd(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image) {
@@ -53,18 +87,14 @@ bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image
   if (fd < 0) {
     return false;
   }
-  size_t off = 0;
-  while (off < image.size()) {
-    ssize_t n = ::write(fd, image.data() + off, image.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return false;
-    }
-    off += static_cast<size_t>(n);
+  uint8_t footer[kFooterBytes];
+  PutU32(footer, Crc32(image.data(), image.size()));
+  PutU32(footer + 4, kFooterMagic);
+  if (!WriteAllFd(fd, image.data(), image.size()) ||
+      !WriteAllFd(fd, footer, sizeof(footer))) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
   }
   // The rename is the publication point; fsync first so a kill after the rename cannot
   // leave a name pointing at unwritten data. The fd is closed unconditionally — the old
@@ -83,12 +113,15 @@ bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image
   return FsyncParentDir(path);
 }
 
-std::vector<uint8_t> ReadCheckpointFile(const std::string& path) {
+CheckpointReadResult ReadCheckpointFileEx(const std::string& path) {
+  CheckpointReadResult res;
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    return {};
+    res.status = errno == ENOENT ? CheckpointReadStatus::kAbsent
+                                 : CheckpointReadStatus::kIoError;
+    return res;
   }
-  std::vector<uint8_t> image;
+  std::vector<uint8_t> raw;
   uint8_t buf[4096];
   for (;;) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -97,15 +130,33 @@ std::vector<uint8_t> ReadCheckpointFile(const std::string& path) {
         continue;
       }
       ::close(fd);
-      return {};
+      res.status = CheckpointReadStatus::kIoError;
+      return res;
     }
     if (n == 0) {
       break;
     }
-    image.insert(image.end(), buf, buf + n);
+    raw.insert(raw.end(), buf, buf + n);
   }
   ::close(fd);
-  return image;
+  if (raw.size() < kFooterBytes) {
+    res.status = CheckpointReadStatus::kCorrupt;
+    return res;
+  }
+  const uint8_t* footer = raw.data() + raw.size() - kFooterBytes;
+  if (GetU32(footer + 4) != kFooterMagic ||
+      GetU32(footer) != Crc32(raw.data(), raw.size() - kFooterBytes)) {
+    res.status = CheckpointReadStatus::kCorrupt;
+    return res;
+  }
+  raw.resize(raw.size() - kFooterBytes);
+  res.status = CheckpointReadStatus::kOk;
+  res.image = std::move(raw);
+  return res;
+}
+
+std::vector<uint8_t> ReadCheckpointFile(const std::string& path) {
+  return ReadCheckpointFileEx(path).image;
 }
 
 namespace {

@@ -23,12 +23,33 @@
 namespace naiad {
 
 // Atomically publishes `image` at `path` (temp file + fsync + rename + parent-directory
-// fsync, so the publication survives power loss, not just process death). Returns false
-// on I/O error — including when the image was renamed into place but its durability
-// could not be established.
+// fsync, so the publication survives power loss, not just process death), appending an
+// 8-byte footer [u32 CRC-32 of image][u32 footer magic] so readers can reject torn or
+// bit-rotted images by content. Returns false on I/O error — including when the image was
+// renamed into place but its durability could not be established.
 bool WriteCheckpointFile(const std::string& path, std::span<const uint8_t> image);
 
-// Reads a previously published image; empty if the file is absent or unreadable.
+// Why the read outcomes are split: the cluster recovery protocol reacts differently to
+// each. "No checkpoint yet" (kAbsent) means restart from scratch; a damaged image
+// (kCorrupt) under a manifest that names it means the manifest commit rule was violated
+// and must fail loudly; a transient I/O error (kIoError) is retryable.
+enum class CheckpointReadStatus : uint8_t {
+  kOk = 0,       // image read and CRC-verified; footer stripped
+  kAbsent = 1,   // no file at `path`
+  kIoError = 2,  // open/read failed for a reason other than absence
+  kCorrupt = 3,  // short read (shorter than the footer), bad footer magic, or CRC mismatch
+};
+
+struct CheckpointReadResult {
+  CheckpointReadStatus status = CheckpointReadStatus::kAbsent;
+  std::vector<uint8_t> image;  // footer stripped; empty unless status == kOk
+  bool ok() const { return status == CheckpointReadStatus::kOk; }
+};
+
+// Reads and verifies a previously published image (see CheckpointReadStatus).
+CheckpointReadResult ReadCheckpointFileEx(const std::string& path);
+
+// Legacy wrapper: the verified image, or empty for every non-kOk outcome.
 std::vector<uint8_t> ReadCheckpointFile(const std::string& path);
 
 class KillRecoverDriver {

@@ -1,5 +1,6 @@
 #include "src/net/cluster.h"
 
+#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -10,15 +11,25 @@ namespace naiad {
 
 namespace {
 
+// Control-frame kinds. kReport/kVerdict drive the termination barrier; kCkpt* drive the
+// cluster checkpoint (quiet-point rounds, then the durable/commit exchange); kFailure and
+// kRecover drive the coordinated restart of src/ft/cluster_recovery.h.
 constexpr uint8_t kReport = 0;
 constexpr uint8_t kVerdict = 1;
+constexpr uint8_t kCkptReport = 2;
+constexpr uint8_t kCkptVerdict = 3;
+constexpr uint8_t kCkptDurable = 4;
+constexpr uint8_t kCkptCommit = 5;
+constexpr uint8_t kFailure = 6;
+constexpr uint8_t kRecover = 7;
 
-struct TrafficCounters {
-  std::array<uint64_t, 6> v = {};
-  friend bool operator==(const TrafficCounters&, const TrafficCounters&) = default;
-};
+// Barrier waits poll so a concurrent recovery request is never missed (matches the
+// ProgressTracker::WaitFor cadence).
+constexpr auto kPoll = std::chrono::milliseconds(1);
 
-TrafficCounters SnapshotCounters(const TcpTransport& t) {
+}  // namespace
+
+ClusterControl::TrafficCounters ClusterControl::SnapshotCounters(const TcpTransport& t) {
   TrafficCounters c;
   c.v = {t.frames_sent(FrameType::kData),        t.frames_received(FrameType::kData),
          t.frames_sent(FrameType::kProgress),    t.frames_received(FrameType::kProgress),
@@ -26,61 +37,104 @@ TrafficCounters SnapshotCounters(const TcpTransport& t) {
   return c;
 }
 
-struct Report {
-  uint64_t round = 0;
-  bool empty = false;
-  TrafficCounters counters;
-  bool valid = false;
-};
-
-// Per-process termination-barrier state; the coordinator fields are used on process 0.
-struct BarrierState {
-  std::mutex mu;
-  std::condition_variable cv;
-  uint64_t verdict_round = 0;
-  bool verdict_ok = false;
-  bool have_verdict = false;
-
-  // Coordinator.
-  std::mutex coord_mu;
-  std::vector<Report> reports;
-  std::vector<Report> prev_reports;
-  uint64_t coord_round = 0;
-};
-
-struct ProcessContext {
-  std::unique_ptr<Controller> ctl;
-  std::unique_ptr<TcpTransport> transport;
-  std::unique_ptr<DistributedProgressRouter> router;
-  BarrierState barrier;
-
-  void HandleControl(uint32_t src, std::span<const uint8_t> payload,
-                     ProcessContext* coordinator);
-  void RunQuiesceBarrier();
-};
-
-void ProcessContext::HandleControl(uint32_t src, std::span<const uint8_t> payload,
-                                   ProcessContext* coordinator) {
+void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payload) {
   ByteReader r(payload);
   const uint8_t kind = r.ReadU8();
-  if (kind == kVerdict) {
-    const uint64_t round = r.ReadU64();
-    const bool ok = r.ReadU8() != 0;
-    NAIAD_CHECK(r.ok());
-    {
-      std::lock_guard<std::mutex> lock(barrier.mu);
-      barrier.verdict_round = round;
-      barrier.verdict_ok = ok;
-      barrier.have_verdict = true;
+  switch (kind) {
+    case kVerdict: {
+      const uint64_t round = r.ReadU64();
+      const bool ok = r.ReadU8() != 0;
+      NAIAD_CHECK(r.ok());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        term_verdict_round_ = round;
+        term_verdict_ok_ = ok;
+        term_have_verdict_ = true;
+      }
+      cv_.notify_all();
+      return;
     }
-    barrier.cv.notify_all();
-    return;
+    case kReport:
+      HandleTerminationReport(src, r);
+      return;
+    case kCkptReport:
+      HandleCheckpointReport(src, r);
+      return;
+    case kCkptVerdict: {
+      const uint64_t epoch = r.ReadU64();
+      const uint64_t round = r.ReadU64();
+      const bool ok = r.ReadU8() != 0;
+      NAIAD_CHECK(r.ok());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ckpt_verdict_epoch_ = epoch;
+        ckpt_verdict_round_ = round;
+        ckpt_verdict_ok_ = ok;
+        ckpt_have_verdict_ = true;
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kCkptDurable: {
+      const uint64_t epoch = r.ReadU64();
+      const bool ok = r.ReadU8() != 0;
+      NAIAD_CHECK(r.ok());
+      NAIAD_CHECK(transport_->process_id() == 0);  // durables only go to the coordinator
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (epoch != durable_epoch_) {
+          durable_epoch_ = epoch;
+          durable_acks_ = 0;
+          durable_all_ok_ = true;
+        }
+        ++durable_acks_;
+        if (!ok) {
+          durable_all_ok_ = false;
+        }
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kCkptCommit: {
+      const uint64_t epoch = r.ReadU64();
+      const bool ok = r.ReadU8() != 0;
+      NAIAD_CHECK(r.ok());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ckpt_commit_epoch_ = epoch;
+        ckpt_commit_ok_ = ok;
+        ckpt_have_commit_ = true;
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kFailure: {
+      const uint32_t victim = r.ReadU32();
+      NAIAD_CHECK(r.ok());
+      if (!finished()) {
+        BroadcastRecover(victim);
+      }
+      return;
+    }
+    case kRecover: {
+      r.ReadU32();  // victim; informational only
+      NAIAD_CHECK(r.ok());
+      if (!finished()) {
+        recovery_requested_.store(true, std::memory_order_release);
+        cv_.notify_all();
+      }
+      return;
+    }
+    default:
+      NAIAD_CHECK(false);
   }
-  NAIAD_CHECK(kind == kReport);
-  NAIAD_CHECK(coordinator == this);  // reports only go to process 0
+}
+
+void ClusterControl::HandleTerminationReport(uint32_t src, ByteReader& r) {
+  NAIAD_CHECK(transport_->process_id() == 0);  // reports only go to process 0
   Report rep;
   rep.round = r.ReadU64();
-  rep.empty = r.ReadU8() != 0;
+  rep.quiet = r.ReadU8() != 0;
   for (uint64_t& c : rep.counters.v) {
     c = r.ReadU64();
   }
@@ -89,72 +143,322 @@ void ProcessContext::HandleControl(uint32_t src, std::span<const uint8_t> payloa
 
   std::vector<uint8_t> verdict_payload;
   {
-    std::lock_guard<std::mutex> lock(barrier.coord_mu);
-    const uint32_t n = transport->processes();
-    barrier.reports.resize(n);
-    barrier.prev_reports.resize(n);
-    barrier.reports[src] = rep;
-    bool all_here = true;
-    for (const Report& existing : barrier.reports) {
-      if (!existing.valid || existing.round != barrier.coord_round) {
-        all_here = false;
-        break;
+    std::lock_guard<std::mutex> lock(coord_mu_);
+    const uint32_t n = transport_->processes();
+    term_reports_.resize(n);
+    term_prev_reports_.resize(n);
+    term_reports_[src] = rep;
+    for (const Report& existing : term_reports_) {
+      if (!existing.valid || existing.round != term_round_) {
+        return;
       }
-    }
-    if (!all_here) {
-      return;
     }
     bool ok = true;
     for (uint32_t p = 0; p < n; ++p) {
-      const Report& cur = barrier.reports[p];
-      const Report& prev = barrier.prev_reports[p];
-      if (!cur.empty || !prev.valid || !(cur.counters == prev.counters)) {
+      const Report& cur = term_reports_[p];
+      const Report& prev = term_prev_reports_[p];
+      if (!cur.quiet || !prev.valid || !(cur.counters == prev.counters)) {
         ok = false;
         break;
       }
     }
-    barrier.prev_reports = barrier.reports;
-    for (Report& existing : barrier.reports) {
+    term_prev_reports_ = term_reports_;
+    for (Report& existing : term_reports_) {
       existing.valid = false;
     }
     ByteWriter w(&verdict_payload);
     w.WriteU8(kVerdict);
-    w.WriteU64(barrier.coord_round);
+    w.WriteU64(term_round_);
     w.WriteU8(ok ? 1 : 0);
-    ++barrier.coord_round;
+    ++term_round_;
   }
-  transport->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
+  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
 }
 
-void ProcessContext::RunQuiesceBarrier() {
+void ClusterControl::HandleCheckpointReport(uint32_t src, ByteReader& r) {
+  NAIAD_CHECK(transport_->process_id() == 0);
+  const uint64_t epoch = r.ReadU64();
+  Report rep;
+  rep.round = r.ReadU64();
+  rep.quiet = r.ReadU8() != 0;
+  for (uint64_t& c : rep.counters.v) {
+    c = r.ReadU64();
+  }
+  rep.valid = true;
+  NAIAD_CHECK(r.ok());
+
+  std::vector<uint8_t> verdict_payload;
+  {
+    std::lock_guard<std::mutex> lock(coord_mu_);
+    const uint32_t n = transport_->processes();
+    if (epoch != ckpt_epoch_) {  // new barrier: rounds restart per checkpoint epoch
+      ckpt_epoch_ = epoch;
+      ckpt_reports_.assign(n, Report{});
+      ckpt_prev_reports_.assign(n, Report{});
+    }
+    ckpt_reports_[src] = rep;
+    for (const Report& existing : ckpt_reports_) {
+      if (!existing.valid || existing.round != rep.round) {
+        return;
+      }
+    }
+    // Quiet verdict: everyone locally quiet, nothing happened since the previous round
+    // (two-round stability), and no frame in flight anywhere (cluster-wide sent ==
+    // received per frame type; barrier control traffic is deliberately not counted).
+    bool ok = true;
+    for (uint32_t p = 0; p < n; ++p) {
+      const Report& cur = ckpt_reports_[p];
+      const Report& prev = ckpt_prev_reports_[p];
+      if (!cur.quiet || !prev.valid || !(cur.counters == prev.counters)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      std::array<uint64_t, 6> sums = {};
+      for (uint32_t p = 0; p < n; ++p) {
+        for (size_t i = 0; i < sums.size(); ++i) {
+          sums[i] += ckpt_reports_[p].counters.v[i];
+        }
+      }
+      for (size_t i = 0; i < sums.size(); i += 2) {
+        if (sums[i] != sums[i + 1]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    ckpt_prev_reports_ = ckpt_reports_;
+    for (Report& existing : ckpt_reports_) {
+      existing.valid = false;
+    }
+    ByteWriter w(&verdict_payload);
+    w.WriteU8(kCkptVerdict);
+    w.WriteU64(epoch);
+    w.WriteU64(rep.round);
+    w.WriteU8(ok ? 1 : 0);
+  }
+  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
+}
+
+void ClusterControl::BroadcastRecover(uint32_t victim) {
+  if (recover_broadcast_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.WriteU8(kRecover);
+  w.WriteU32(victim);
+  // Includes self, which sets this process's own recovery flag; the send to the dead
+  // victim fails harmlessly (its peer-down report deduplicates against the flag).
+  transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true);
+}
+
+void ClusterControl::ReportFailure(uint32_t victim) {
+  if (finished() || recovery_requested()) {
+    return;
+  }
+  // Request recovery locally first: the report below can itself be lost to dying links,
+  // and the supervisor's rendezvous — not this broadcast — is what guarantees liveness.
+  recovery_requested_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  const uint32_t coordinator = victim == 0 ? 1 : 0;  // lowest-ranked survivor
+  if (transport_->process_id() == coordinator) {
+    BroadcastRecover(victim);
+    return;
+  }
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.WriteU8(kFailure);
+  w.WriteU32(victim);
+  transport_->Send(coordinator, FrameType::kControl, std::move(payload));
+}
+
+void ClusterControl::RequestRecovery() {
+  if (finished()) {
+    return;
+  }
+  recovery_requested_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void ClusterControl::Finish() { finished_.store(true, std::memory_order_release); }
+
+bool ClusterControl::RunTerminationBarrier() {
   for (uint64_t round = 0;; ++round) {
-    ctl->tracker().WaitFor([&] { return ctl->tracker().Empty(); });
+    ctl_->tracker().WaitFor(
+        [&] { return ctl_->tracker().Empty() || recovery_requested(); });
+    if (recovery_requested()) {
+      return false;
+    }
     // Let the accumulators drain anything still held before counting traffic. This must
     // not be deferrable by fault injection: the stability check below assumes it ran.
-    router->FlushAll();
+    router_->FlushAll();
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
     w.WriteU8(kReport);
     w.WriteU64(round);
-    w.WriteU8(ctl->tracker().Empty() ? 1 : 0);
-    for (uint64_t c : SnapshotCounters(*transport).v) {
+    w.WriteU8(ctl_->tracker().Empty() ? 1 : 0);
+    for (uint64_t c : SnapshotCounters(*transport_).v) {
       w.WriteU64(c);
     }
-    transport->Send(0, FrameType::kControl, std::move(payload));
-    bool ok;
+    transport_->Send(0, FrameType::kControl, std::move(payload));
+    bool ok = false;
     {
-      std::unique_lock<std::mutex> lock(barrier.mu);
-      barrier.cv.wait(lock, [&] {
-        return barrier.have_verdict && barrier.verdict_round == round;
-      });
-      ok = barrier.verdict_ok;
-      barrier.have_verdict = false;
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (term_have_verdict_ && term_verdict_round_ == round) {
+          ok = term_verdict_ok_;
+          term_have_verdict_ = false;
+          break;
+        }
+        // Check the verdict before the recovery flag: a successful verdict that raced a
+        // (necessarily spurious) recovery request wins, keeping all survivors agreed
+        // that the run finished.
+        if (recovery_requested_.load(std::memory_order_acquire)) {
+          return false;
+        }
+        cv_.wait_for(lock, kPoll);
+      }
     }
     if (ok) {
-      return;
+      Finish();
+      return true;
     }
   }
 }
+
+bool ClusterControl::RunCheckpointBarrier(
+    uint64_t epoch, const std::function<bool(uint64_t)>& write_image,
+    const std::function<bool(uint64_t)>& write_manifest) {
+  const uint64_t t0 = obs::MonotonicNs();
+  uint64_t rounds = 0;
+  // Phase 1: quiet-point rounds, until the coordinator sees the whole cluster quiet.
+  for (uint64_t round = 0;; ++round) {
+    if (recovery_requested()) {
+      return false;
+    }
+    ++rounds;
+    ctl_->PauseAndDrain();
+    router_->FlushAll();
+    // Snapshot counters BEFORE probing local quiet: receivers count a frame only after
+    // dispatching it, so every frame in this snapshot is already visible to the probes
+    // below, and a frame missing from it trips the coordinator's sent/received check.
+    const TrafficCounters counters = SnapshotCounters(*transport_);
+    const bool quiet = ctl_->InboxesEmpty() && router_->Empty();
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCkptReport);
+    w.WriteU64(epoch);
+    w.WriteU64(round);
+    w.WriteU8(quiet ? 1 : 0);
+    for (uint64_t c : counters.v) {
+      w.WriteU64(c);
+    }
+    transport_->Send(0, FrameType::kControl, std::move(payload));
+    bool got = false;
+    bool ok = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (ckpt_have_verdict_ && ckpt_verdict_epoch_ == epoch &&
+            ckpt_verdict_round_ == round) {
+          ok = ckpt_verdict_ok_;
+          ckpt_have_verdict_ = false;
+          got = true;
+          break;
+        }
+        if (recovery_requested_.load(std::memory_order_acquire)) {
+          break;
+        }
+        cv_.wait_for(lock, kPoll);
+      }
+    }
+    if (!got) {
+      ctl_->Resume();
+      return false;
+    }
+    if (ok) {
+      break;
+    }
+    // Not quiet yet: let the workers absorb whatever was still in flight, then retry.
+    ctl_->Resume();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // Phase 2: globally quiet, workers still paused — capture and durably publish this
+  // process's image. write_image resumes the workers; that is safe before commit because
+  // a quiet cluster with no new input generates no traffic.
+  const bool durable = write_image(epoch);
+  {
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCkptDurable);
+    w.WriteU64(epoch);
+    w.WriteU8(durable ? 1 : 0);
+    transport_->Send(0, FrameType::kControl, std::move(payload));
+  }
+
+  // Phase 3: the coordinator commits the manifest strictly after every process reported
+  // durable, then broadcasts the commit; everyone waits for it.
+  if (transport_->process_id() == 0) {
+    const uint32_t n = transport_->processes();
+    bool all_ok = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (durable_epoch_ == epoch && durable_acks_ == n) {
+          all_ok = durable_all_ok_;
+          break;
+        }
+        if (recovery_requested_.load(std::memory_order_acquire)) {
+          return false;
+        }
+        cv_.wait_for(lock, kPoll);
+      }
+    }
+    const bool commit = all_ok && write_manifest(epoch);
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCkptCommit);
+    w.WriteU64(epoch);
+    w.WriteU8(commit ? 1 : 0);
+    transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true);
+  }
+  bool committed = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (ckpt_have_commit_ && ckpt_commit_epoch_ == epoch) {
+        committed = ckpt_commit_ok_;
+        ckpt_have_commit_ = false;
+        break;
+      }
+      if (recovery_requested_.load(std::memory_order_acquire)) {
+        return false;
+      }
+      cv_.wait_for(lock, kPoll);
+    }
+  }
+  if (committed) {
+    committed_epochs_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::ProcessMetrics* pm = ctl_->obs().metrics().process()) {
+      pm->cluster_checkpoints.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ctl_->obs().tracer().ControlSpan(obs::TraceKind::kClusterCheckpoint, t0,
+                                   obs::MonotonicNs(), epoch, rounds, committed ? 1 : 0);
+  return committed;
+}
+
+namespace {
+
+struct ProcessContext {
+  std::unique_ptr<Controller> ctl;
+  std::unique_ptr<TcpTransport> transport;
+  std::unique_ptr<DistributedProgressRouter> router;
+  std::unique_ptr<ClusterControl> control;
+};
 
 }  // namespace
 
@@ -181,6 +485,8 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
         opts.fault_plan != nullptr ? opts.fault_plan->Progress(p) : nullptr);
     procs[p].ctl->SetProgressRouter(procs[p].router.get());
     procs[p].ctl->SetDataTransport(procs[p].transport.get());
+    procs[p].control = std::make_unique<ClusterControl>(
+        procs[p].ctl.get(), procs[p].transport.get(), procs[p].router.get());
     ports[p] = procs[p].transport->Listen();
   }
 
@@ -190,7 +496,6 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
   for (uint32_t p = 0; p < n; ++p) {
     threads.emplace_back([&, p] {
       ProcessContext& me = procs[p];
-      ProcessContext* coordinator = &procs[0];
       TcpTransport::Callbacks cb;
       cb.on_data = [&me](uint32_t, std::span<const uint8_t> payload) {
         me.ctl->ReceiveRemoteBundle(payload);
@@ -201,11 +506,13 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
       cb.on_progress_acc = [&me](uint32_t src, std::span<const uint8_t> payload) {
         me.router->OnAccumulatorFrame(src, payload);
       };
-      cb.on_control = [&me, coordinator](uint32_t src, std::span<const uint8_t> payload) {
-        me.HandleControl(src, payload, coordinator);
+      cb.on_control = [&me](uint32_t src, std::span<const uint8_t> payload) {
+        me.control->HandleControl(src, payload);
       };
+      // No on_peer_down: in thread mode nothing can die out from under the run, so link
+      // teardown at the end of the run is never a suspected failure.
       me.transport->Start(ports, std::move(cb));
-      me.ctl->SetQuiesceHook([&me] { me.RunQuiesceBarrier(); });
+      me.ctl->SetQuiesceHook([&me] { me.control->RunTerminationBarrier(); });
       body(*me.ctl);
     });
   }

@@ -4,12 +4,23 @@
 // as N threads of one binary, each with its own Controller, worker pool, logical graph
 // copy (SPMD construction, §3.1), and real TCP connections to every peer. Record exchange,
 // serialization, and the distributed progress protocol all cross genuine sockets; only the
-// wire is loopback (see DESIGN.md substitution #1).
+// wire is loopback (see DESIGN.md substitution #1). The same control machinery
+// (ClusterControl) also drives the forked-process cluster of src/ft/cluster_recovery.h,
+// where each "process" really is an OS process that can be SIGKILLed.
 //
 // Termination uses a two-round stability barrier over control frames: when its tracker is
 // globally empty, a process reports its traffic counters to process 0; the coordinator
 // declares termination once every process reports empty with counters unchanged since the
 // previous round (i.e. nothing happened anywhere in between).
+//
+// The cluster checkpoint barrier (§3.4) reuses the same machinery to reach a *global quiet
+// point* mid-computation: each round, every process pauses-and-drains its workers, flushes
+// its progress accumulators, and reports (local-quiet, traffic counters); the coordinator
+// declares the cluster quiet once every process is locally quiet, counters are unchanged
+// since the previous round, and the cluster-wide sent/received sums match per frame type
+// (no frame in flight). Only then does each process serialize its image; process 0 commits
+// the checkpoint epoch to the manifest strictly after every process reports its image
+// durable, so a torn cluster checkpoint is never adoptable.
 
 #ifndef SRC_NET_CLUSTER_H_
 #define SRC_NET_CLUSTER_H_
@@ -24,6 +35,7 @@
 #include "src/core/controller.h"
 #include "src/net/progress_router.h"
 #include "src/net/transport.h"
+#include "src/ser/bytes.h"
 
 namespace naiad {
 
@@ -48,9 +60,119 @@ struct ClusterStats {
   uint64_t data_bytes = 0;         // record-bundle traffic over the wire (Fig. 6a)
   uint64_t data_frames = 0;
   uint64_t reconnects = 0;         // link resets survived (fault injection)
+  uint64_t recoveries = 0;         // coordinated cluster restarts survived (§3.4)
+  uint64_t checkpoint_epochs = 0;  // cluster checkpoint epochs committed to the manifest
   double elapsed_seconds = 0;
   // Merged metrics across all processes; empty unless opts.obs.metrics was set.
   obs::ObsSnapshot obs;
+};
+
+// Per-process cluster control plane: the termination barrier, the checkpoint quiet-point
+// barrier, and failure/recovery signalling, all over kControl frames. One instance per
+// (Controller, TcpTransport) generation; recovery tears it down with the rest and builds a
+// fresh one. Process 0 doubles as the coordinator for both barriers; failure reports go to
+// the lowest-ranked survivor.
+class ClusterControl {
+ public:
+  ClusterControl(Controller* ctl, TcpTransport* transport,
+                 DistributedProgressRouter* router)
+      : ctl_(ctl), transport_(transport), router_(router) {}
+  ClusterControl(const ClusterControl&) = delete;
+  ClusterControl& operator=(const ClusterControl&) = delete;
+
+  // Wire to TcpTransport::Callbacks.on_control. Runs on receive threads (or inline for
+  // self-sends).
+  void HandleControl(uint32_t src, std::span<const uint8_t> payload);
+
+  // Wire to TcpTransport::Callbacks.on_peer_down (kill-and-recover harness only; the
+  // thread-mode Cluster::Run leaves it unset). Reports the suspected death to the lowest
+  // surviving process, which broadcasts kRecover; also requests recovery locally at once.
+  // Deduplicated; ignored after Finish().
+  void ReportFailure(uint32_t victim);
+  // Requests recovery directly (supervisor hint path), as if a kRecover frame arrived.
+  void RequestRecovery();
+
+  // Blocks until the cluster-wide two-round stability verdict. Returns true on successful
+  // termination (and latches Finish()); false if interrupted by a recovery request. An
+  // in-flight successful verdict beats a concurrent recovery request.
+  bool RunTerminationBarrier();
+
+  // Drives this process through the cluster checkpoint for `epoch`: quiet-point rounds,
+  // then `write_image(epoch)` (must capture and durably publish this process's image and
+  // leave the controller resumed — CheckpointProcess + WriteCheckpointFile does), then the
+  // durable/commit exchange. On process 0, `write_manifest(epoch)` publishes the manifest
+  // once every process has reported durable. Returns true once the commit for `epoch` is
+  // received; false if the checkpoint failed or recovery interrupted it. All processes
+  // must call this for the same epochs in the same order.
+  bool RunCheckpointBarrier(uint64_t epoch,
+                            const std::function<bool(uint64_t)>& write_image,
+                            const std::function<bool(uint64_t)>& write_manifest);
+
+  // After the termination verdict: ignore all further failure reports and recovery frames
+  // (peers' teardown EOFs are not failures once the run is over).
+  void Finish();
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  bool recovery_requested() const {
+    return recovery_requested_.load(std::memory_order_acquire);
+  }
+  // Cluster checkpoint epochs this process saw committed (ClusterStats.checkpoint_epochs).
+  uint64_t committed_epochs() const {
+    return committed_epochs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TrafficCounters {
+    std::array<uint64_t, 6> v = {};  // sent/received per {data, progress, progress-acc}
+    friend bool operator==(const TrafficCounters&, const TrafficCounters&) = default;
+  };
+  struct Report {
+    uint64_t round = 0;
+    bool quiet = false;
+    TrafficCounters counters;
+    bool valid = false;
+  };
+
+  static TrafficCounters SnapshotCounters(const TcpTransport& t);
+  void HandleTerminationReport(uint32_t src, ByteReader& r);
+  void HandleCheckpointReport(uint32_t src, ByteReader& r);
+  void BroadcastRecover(uint32_t victim);
+
+  Controller* ctl_;
+  TcpTransport* transport_;
+  DistributedProgressRouter* router_;
+
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> recovery_requested_{false};
+  std::atomic<uint64_t> committed_epochs_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Termination verdict (participant side).
+  bool term_have_verdict_ = false;
+  uint64_t term_verdict_round_ = 0;
+  bool term_verdict_ok_ = false;
+  // Checkpoint verdict/commit (participant side).
+  bool ckpt_have_verdict_ = false;
+  uint64_t ckpt_verdict_epoch_ = 0;
+  uint64_t ckpt_verdict_round_ = 0;
+  bool ckpt_verdict_ok_ = false;
+  bool ckpt_have_commit_ = false;
+  uint64_t ckpt_commit_epoch_ = 0;
+  bool ckpt_commit_ok_ = false;
+  // Durable acks (coordinator side, but under mu_: the coordinator's barrier thread
+  // cv-waits on them).
+  uint64_t durable_epoch_ = ~uint64_t{0};
+  uint32_t durable_acks_ = 0;
+  bool durable_all_ok_ = true;
+  // Coordinator (process 0) report tables for both barriers; touched by receive threads.
+  std::mutex coord_mu_;
+  std::vector<Report> term_reports_;
+  std::vector<Report> term_prev_reports_;
+  uint64_t term_round_ = 0;
+  std::vector<Report> ckpt_reports_;
+  std::vector<Report> ckpt_prev_reports_;
+  uint64_t ckpt_epoch_ = ~uint64_t{0};
+  std::atomic<bool> recover_broadcast_{false};
 };
 
 class Cluster {

@@ -122,6 +122,17 @@ void DistributedProgressRouter::FlushAll() {
   }
 }
 
+bool DistributedProgressRouter::Empty() const {
+  {
+    std::lock_guard<std::mutex> lock(local_mu_);
+    if (!local_buf_.empty()) {
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(central_mu_);
+  return central_buf_.empty();
+}
+
 void DistributedProgressRouter::AddToBuffer(std::map<Pointstamp, int64_t>& buf,
                                             std::span<const ProgressUpdate> ups) {
   for (const ProgressUpdate& u : ups) {

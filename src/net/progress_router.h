@@ -79,6 +79,18 @@ class DistributedProgressRouter final : public ProgressRouter {
   void OnProgressFrame(uint32_t src, std::span<const uint8_t> payload);
   void OnAccumulatorFrame(uint32_t src, std::span<const uint8_t> payload);
 
+  // True when neither accumulator level holds any update. The cluster checkpoint barrier
+  // uses this as part of its local-quiet predicate: a held update is in-flight progress
+  // traffic even though no frame carries it yet.
+  //
+  // Recovery note: restored pending-notification +1s (RestoreProcess's deferred updates)
+  // are injected through the ordinary Broadcast() above, NOT through a bespoke direct
+  // frame. That is what makes them safe: they then travel the same channel, in FIFO order,
+  // as the -1 this process later emits when it re-feeds its open input epoch — so no peer
+  // can retire the open-input pointstamp (the only guard dominating the restored
+  // notifications) before it has applied the +1s.
+  bool Empty() const;
+
  private:
   bool IsCentral() const { return ctl_->config().process_id == 0; }
 
@@ -104,10 +116,10 @@ class DistributedProgressRouter final : public ProgressRouter {
   size_t hold_limit_;
   ProgressFaultHook* faults_;
 
-  std::mutex local_mu_;
+  mutable std::mutex local_mu_;
   std::map<Pointstamp, int64_t> local_buf_;
 
-  std::mutex central_mu_;  // process 0 only
+  mutable std::mutex central_mu_;  // process 0 only
   std::map<Pointstamp, int64_t> central_buf_;
 };
 

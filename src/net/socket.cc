@@ -215,14 +215,14 @@ Listener& Listener::operator=(Listener&& other) noexcept {
   return *this;
 }
 
-uint16_t Listener::Open() {
+uint16_t Listener::Open(uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   NAIAD_CHECK(fd_ >= 0);
   int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_port = htons(port);  // 0 = ephemeral
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd_, 64) != 0) {

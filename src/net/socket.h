@@ -139,7 +139,11 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   // Binds 127.0.0.1 on an ephemeral port; returns the chosen port (0 on failure).
-  uint16_t Open();
+  uint16_t Open() { return Open(0); }
+  // Binds 127.0.0.1 on `port` (0 = ephemeral); returns the bound port (0 on failure).
+  // SO_REUSEADDR lets a recovering process rebind its published port while the previous
+  // generation's connections linger in TIME_WAIT.
+  uint16_t Open(uint16_t port);
   Socket Accept();
   // Unblocks a concurrent Accept() (which then returns an invalid Socket) without
   // releasing the fd; callers then join the accepting thread before Close().

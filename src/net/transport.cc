@@ -25,8 +25,14 @@ TcpTransport::TcpTransport(uint32_t process_id, uint32_t processes)
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
-uint16_t TcpTransport::Listen() {
-  uint16_t port = listener_.Open();
+uint16_t TcpTransport::Listen(uint16_t preferred_port) {
+  uint16_t port = listener_.Open(preferred_port);
+  // A recovering process rebinding its published port can transiently collide with the
+  // previous generation's teardown; retry briefly (mirroring Socket::ConnectLocal).
+  for (int attempt = 0; port == 0 && preferred_port != 0 && attempt < 200; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    port = listener_.Open(preferred_port);
+  }
   NAIAD_CHECK(port != 0);
   return port;
 }
@@ -36,9 +42,9 @@ Socket TcpTransport::DialPeer(uint32_t dst) {
   if (!s.valid()) {
     return Socket();
   }
-  uint32_t me = pid_;
-  if (!s.WriteAll(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&me),
-                                           sizeof(me)))) {
+  uint32_t hello[2] = {pid_, generation_};
+  if (!s.WriteAll(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(hello),
+                                           sizeof(hello)))) {
     return Socket();
   }
   return s;
@@ -95,9 +101,9 @@ void TcpTransport::AcceptorMain() {
       }
       handshake_fd_ = s.fd();
     }
-    uint32_t who = 0;
+    uint32_t hello[2] = {0, 0};  // [src process, restart generation]
     const bool identified =
-        s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(&who), sizeof(who)));
+        s.ReadAll(std::span<uint8_t>(reinterpret_cast<uint8_t*>(hello), sizeof(hello)));
     {
       std::lock_guard<std::mutex> lock(accept_mu_);
       handshake_fd_ = -1;
@@ -105,8 +111,9 @@ void TcpTransport::AcceptorMain() {
     if (!identified) {
       continue;  // dialer vanished before identifying itself
     }
-    if (who >= nprocs_ || who == pid_) {
-      continue;
+    const uint32_t who = hello[0];
+    if (who >= nprocs_ || who == pid_ || hello[1] != generation_) {
+      continue;  // unknown peer, or a dial from a different restart generation
     }
     RecvLink& link = *recv_links_[who];
     {
@@ -132,7 +139,7 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
   if (dst == pid_) {
     // Self-sends dispatch inline and are not network traffic; byte counters track only
     // what would cross the wire (the quantity Fig. 6c reports).
-    Dispatch(type, pid_, payload);
+    Dispatch(type, pid_, payload, /*count=*/false);
     return;
   }
   SendLink& link = *send_links_[dst];
@@ -178,7 +185,7 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
   for (uint32_t p = 0; p < nprocs_; ++p) {
     if (p == pid_) {
       if (include_self) {
-        Dispatch(type, pid_, payload);
+        Dispatch(type, pid_, payload, /*count=*/false);
       }
       continue;
     }
@@ -206,23 +213,32 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
   }
 }
 
-void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload) {
-  frames_received_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload,
+                            bool count) {
   switch (type) {
     case FrameType::kData:
       cb_.on_data(src, payload);
-      return;
+      break;
     case FrameType::kProgress:
       cb_.on_progress(src, payload);
-      return;
+      break;
     case FrameType::kProgressAcc:
       cb_.on_progress_acc(src, payload);
-      return;
+      break;
     case FrameType::kControl:
       cb_.on_control(src, payload);
-      return;
+      break;
+    default:
+      NAIAD_CHECK(false);
   }
-  NAIAD_CHECK(false);
+  // Counted strictly after the callback ran: the cluster checkpoint barrier's in-flight
+  // accounting relies on every counted-received frame being fully delivered (e.g. already
+  // enqueued in a worker inbox, where the local quiet probe can see it). Inline
+  // self-dispatches pass count=false — they never crossed the wire, and their send side
+  // was never counted, so counting the receipt would skew sum(sent) vs sum(received).
+  if (count) {
+    frames_received_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool TcpTransport::WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin,
@@ -299,7 +315,10 @@ void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
       }
     }
     if (!ok || !WriteRun(link, batch, run_start, batch.size())) {
-      return;  // peer went away during shutdown
+      // The peer went away: during shutdown that's expected; otherwise it is the
+      // sender-side symptom of a peer death, reported for coordinated recovery.
+      NotifyPeerDown(dst);
+      return;
     }
     frame_index += batch.size();
     // Recycle the drained point-to-point buffers so the next Send() call on this link
@@ -365,7 +384,10 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       const ReadResult hres = link.socket.ReadExact(header);
       if (!hres.ok()) {
         if (hres.status == ReadResult::Status::kEof) {
-          break;  // clean EOF on a frame boundary: peer reset or the run is over
+          // Clean EOF on a frame boundary: peer reset, the run being over, or (under
+          // coordinated recovery, where resets are off) a dying peer's orderly close.
+          NotifyPeerDown(src);
+          break;
         }
         if (shutdown_.load(std::memory_order_acquire)) {
           return;  // local teardown unblocked the read; don't count it as a link fault
@@ -377,6 +399,7 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
           if (trace != nullptr) {
             trace->Record(obs::TraceKind::kLinkReset, obs::MonotonicNs(), 0, src, 1, 0);
           }
+          NotifyPeerDown(src);
           break;
         }
         // EOF or error mid-header: a torn frame, distinct from a boundary close. The
@@ -386,6 +409,7 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
           trace->Record(obs::TraceKind::kLinkTornFrame, obs::MonotonicNs(), 0, src,
                         hres.bytes_read, 0);
         }
+        NotifyPeerDown(src);
         break;
       }
       ByteReader hr(header);
@@ -408,6 +432,7 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
             trace->Record(obs::TraceKind::kLinkTornFrame, obs::MonotonicNs(), 0, src,
                           sizeof(header) + bres.bytes_read, 1);
           }
+          NotifyPeerDown(src);
           break;
         }
       }
@@ -432,10 +457,37 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
   }
 }
 
+void TcpTransport::NotifyPeerDown(uint32_t peer) {
+  if (cb_.on_peer_down && !shutdown_.load(std::memory_order_acquire)) {
+    cb_.on_peer_down(peer);
+  }
+}
+
 void TcpTransport::Shutdown() {
   if (shutdown_.exchange(true)) {
     return;
   }
+  JoinThreads();
+}
+
+void TcpTransport::Abort() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  // Unblock senders before joining them: a sender parked in a full-buffer write to a
+  // peer that is itself aborting would otherwise deadlock JoinThreads (circular wait on
+  // loopback buffers). shutdown(2) leaves the fd valid, so this is safe against a
+  // concurrent send(); fault-injected resets (the only concurrent Close) are off in
+  // recovery mode, and no new reset can start now that shutdown_ is set.
+  for (auto& link : send_links_) {
+    if (link != nullptr) {
+      link->socket.ShutdownBoth();
+    }
+  }
+  JoinThreads();
+}
+
+void TcpTransport::JoinThreads() {
   // Stop accepting replacements first so the acceptor cannot race socket teardown.
   listener_.Shutdown();
   {

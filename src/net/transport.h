@@ -4,8 +4,8 @@
 // channels (§3.3).
 //
 // Connections are simplex: process s's frames to process d travel on a connection s dials
-// to d's listener (announcing s in a handshake), and d's frames to s travel on a separate
-// connection d dials to s. An accept loop runs for the transport's lifetime, so a sender
+// to d's listener (announcing s and its restart generation in an 8-byte handshake), and
+// d's frames to s travel on a separate connection d dials to s. An accept loop runs for the transport's lifetime, so a sender
 // may close its connection at a frame boundary and transparently re-dial — the mechanism
 // the fault-injection harness (src/testing/fault.h) uses to exercise connection resets
 // without violating the FIFO contract: the receiver drains the old connection to EOF
@@ -50,6 +50,13 @@ class TcpTransport final : public DataTransport {
     std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress;
     std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress_acc;
     std::function<void(uint32_t src, std::span<const uint8_t>)> on_control;
+    // Failure detection (optional). Fired from a sender or receiver thread when a link
+    // dies outside Shutdown(): write failure, boundary EOF/ECONNRESET, or a torn frame.
+    // Installing this makes every link death a suspected peer death, so it is
+    // incompatible with fault plans that inject connection resets (which die and
+    // transparently re-dial); the kill-and-recover harness runs with reset injection off.
+    // May fire multiple times per peer; the consumer deduplicates.
+    std::function<void(uint32_t peer)> on_peer_down;
   };
 
   TcpTransport(uint32_t process_id, uint32_t processes);
@@ -63,8 +70,17 @@ class TcpTransport final : public DataTransport {
   // thread trace rings.
   void SetObs(obs::Obs* obs) { obs_ = obs; }
 
-  // Phase 1 (launcher thread): open the listener, returning its port.
-  uint16_t Listen();
+  // Restart generation announced in the dial handshake and required of inbound dials;
+  // connections from any other generation are dropped at accept time, so a stale
+  // pre-recovery dial can never be adopted by a post-recovery mesh. Must be set before
+  // Start(); defaults to 0 (what every pre-recovery transport uses).
+  void SetGeneration(uint32_t gen) { generation_ = gen; }
+  uint32_t generation() const { return generation_; }
+
+  // Phase 1 (launcher thread): open the listener, returning its port. `preferred_port`
+  // lets a recovering process rebind the port it published before the failure (0 =
+  // ephemeral).
+  uint16_t Listen(uint16_t preferred_port = 0);
   // Phase 2 (per-process thread): establish the mesh given everyone's ports, then start
   // the I/O threads. Callbacks fire on receive threads (or inline for self-sends).
   void Start(const std::vector<uint16_t>& ports, Callbacks cb);
@@ -79,6 +95,11 @@ class TcpTransport final : public DataTransport {
   void BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload, bool include_self);
 
   void Shutdown();
+  // Recovery-path teardown: additionally shuts down (shutdown(2), not close) every send
+  // socket *before* joining the sender threads, so a sender blocked in a full-buffer
+  // write to a peer that is itself tearing down cannot deadlock the join. The clean path
+  // (Shutdown) never needs this — termination drains both sides first.
+  void Abort();
 
   uint64_t bytes_sent(FrameType type) const {
     return bytes_sent_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
@@ -153,7 +174,11 @@ class TcpTransport final : public DataTransport {
     RecvLinkFaultHook* faults = nullptr;  // owned by the fault plan; set in Start
   };
 
-  void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload);
+  // `count` distinguishes wire deliveries (receiver threads) from inline self-dispatches:
+  // only the former increment frames_received_, keeping cluster-wide sum(sent) ==
+  // sum(received) once the wire is drained (the checkpoint barrier's in-flight check).
+  void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload,
+                bool count = true);
   void AcceptorMain();
   void SenderMain(uint32_t dst, SendLink& link);
   void ReceiverMain(uint32_t src, RecvLink& link);
@@ -165,9 +190,14 @@ class TcpTransport final : public DataTransport {
   bool WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin, size_t end);
   // Closes `link`'s connection and transparently re-dials (fault-injected reset).
   void ResetLink(uint32_t dst, SendLink& link);
+  // Fires cb_.on_peer_down(peer) if installed and not shutting down.
+  void NotifyPeerDown(uint32_t peer);
+  // Shared teardown: join acceptor, then sender and receiver threads (see Shutdown/Abort).
+  void JoinThreads();
 
   uint32_t pid_;
   uint32_t nprocs_;
+  uint32_t generation_ = 0;
   Listener listener_;
   std::vector<uint16_t> ports_;  // everyone's listener ports, for re-dialing after a reset
   std::vector<std::unique_ptr<SendLink>> send_links_;  // indexed by dst; [pid_] unused

@@ -171,9 +171,11 @@ struct alignas(64) LinkMetrics {
   LogHistogram writev_batch;      // frames coalesced per sender-thread drain
 };
 
-// Process-wide counters that have no single owning thread (progress router).
+// Process-wide counters that have no single owning thread (progress router, recovery).
 struct alignas(64) ProcessMetrics {
   LogHistogram progress_emit_updates;  // updates per wire flush (Emit/EmitFromCentral)
+  std::atomic<uint64_t> cluster_checkpoints{0};  // committed cluster checkpoint epochs
+  std::atomic<uint64_t> cluster_recoveries{0};   // coordinated restarts participated in
 };
 
 class Metrics {
@@ -219,6 +221,10 @@ class Metrics {
       b.Histogram("writev_batch", l.writev_batch);
     }
     b.Histogram("progress_emit_updates", process_.progress_emit_updates);
+    b.Counter("cluster_checkpoints",
+              process_.cluster_checkpoints.load(std::memory_order_relaxed));
+    b.Counter("cluster_recoveries",
+              process_.cluster_recoveries.load(std::memory_order_relaxed));
   }
 
   // Single-process convenience.

@@ -34,6 +34,10 @@ KindDesc Describe(TraceKind k) {
       return {"checkpoint", true};
     case TraceKind::kRestore:
       return {"restore", true};
+    case TraceKind::kClusterCheckpoint:
+      return {"cluster_checkpoint", true};
+    case TraceKind::kClusterRecover:
+      return {"cluster_recover", true};
   }
   return {"?", false};
 }
@@ -78,6 +82,18 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
     case TraceKind::kRestore:
       std::snprintf(buf, sizeof(buf), "{\"bytes\": %llu}",
                     static_cast<unsigned long long>(e.a0));
+      break;
+    case TraceKind::kClusterCheckpoint:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"epoch\": %llu, \"rounds\": %llu, \"committed\": %llu}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1),
+                    static_cast<unsigned long long>(e.a2));
+      break;
+    case TraceKind::kClusterRecover:
+      std::snprintf(buf, sizeof(buf), "{\"restored_epoch\": %lld, \"generation\": %llu}",
+                    static_cast<long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1));
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{}");

@@ -46,6 +46,10 @@ enum class TraceKind : uint8_t {
   kLinkTornFrame,        // a0=src process, a1=bytes consumed, a2=1 if torn in the body
   kCheckpoint,           // a0=image bytes; dur=pause+serialize span
   kRestore,              // a0=image bytes; dur=restore span
+  kClusterCheckpoint,    // a0=checkpoint epoch, a1=barrier rounds, a2=1 when committed;
+                         // dur=quiet-point barrier + publish span
+  kClusterRecover,       // a0=restored epoch (UINT64_MAX = fresh start), a1=generation;
+                         // dur=teardown + restore + re-dial span
 };
 
 struct TraceEvent {

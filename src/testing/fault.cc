@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "src/base/hash.h"
@@ -14,6 +15,7 @@ namespace {
 constexpr uint64_t kLinkDomain = 0x4c494e4bULL;      // "LINK"
 constexpr uint64_t kRecvDomain = 0x52454356ULL;      // "RECV"
 constexpr uint64_t kProgressDomain = 0x50524f47ULL;  // "PROG"
+constexpr uint64_t kSkewDomain = 0x534b4557ULL;      // "SKEW"
 
 // Seeded Fisher-Yates over [begin, end).
 void ShuffleRange(std::vector<ProgressUpdate>& v, size_t begin, size_t end, Rng& rng) {
@@ -57,6 +59,10 @@ FaultProfile FaultProfile::FromSeed(uint64_t seed) {
   // be near-certain and comparatively long.
   p.adoption_delay_prob = 0.3 + 0.5 * rng.NextDouble();
   p.max_adoption_delay_us = 50 + static_cast<uint32_t>(rng.Below(250));
+  // Per-link skew (drawn last so the earlier fields keep their values across seeds):
+  // every sweep seed sees systematically fast and slow links side by side.
+  p.link_dispatch_skew = true;
+  p.dispatch_delay_budget_us = 20000 + rng.Below(80000);
   return p;
 }
 
@@ -88,6 +94,18 @@ bool LinkFaults::ShouldResetBefore(uint64_t /*frame_index*/) {
   return false;
 }
 
+RecvLinkFaults::RecvLinkFaults(uint64_t seed, const FaultProfile& profile,
+                               uint64_t skew_seed)
+    : rng_(seed), profile_(profile) {
+  if (profile_.link_dispatch_skew) {
+    // Log-uniform in [1/8, 8): a one-shot draw per link, so the skew is a property of the
+    // link — systematically fast or slow for the whole run — not per-frame noise.
+    Rng skew(skew_seed);
+    skew_mult_ = std::exp2(3.0 - 6.0 * skew.NextDouble());
+    delay_budget_us_ = profile_.dispatch_delay_budget_us;
+  }
+}
+
 ReadStep RecvLinkFaults::Next(size_t remaining) {
   ReadStep step;
   if (profile_.read_eintr_prob > 0 && rng_.NextDouble() < profile_.read_eintr_prob) {
@@ -106,12 +124,19 @@ ReadStep RecvLinkFaults::Next(size_t remaining) {
 }
 
 uint32_t RecvLinkFaults::DispatchDelayUs(uint64_t /*frame_index*/) {
-  if (profile_.dispatch_delay_prob <= 0 ||
-      rng_.NextDouble() >= profile_.dispatch_delay_prob) {
+  const double prob = std::min(1.0, profile_.dispatch_delay_prob * skew_mult_);
+  if (prob <= 0 || rng_.NextDouble() >= prob) {
     return 0;
   }
-  return 1 + static_cast<uint32_t>(rng_.Below(
-                 std::max<uint32_t>(1, profile_.max_dispatch_delay_us)));
+  uint64_t delay = 1 + rng_.Below(std::max<uint32_t>(1, profile_.max_dispatch_delay_us));
+  if (profile_.link_dispatch_skew) {
+    delay = std::max<uint64_t>(1, static_cast<uint64_t>(delay * skew_mult_));
+    // Independent per-link budget: a heavily-skewed link eventually runs dry instead of
+    // stretching the run without bound, and each link's spend is its own.
+    delay = std::min(delay, delay_budget_us_);
+    delay_budget_us_ -= delay;
+  }
+  return static_cast<uint32_t>(delay);
 }
 
 uint32_t RecvLinkFaults::AdoptionDelayUs(uint64_t /*replacement_index*/) {
@@ -188,7 +213,10 @@ RecvLinkFaultHook* FaultPlan::RecvLink(uint32_t src_process, uint32_t dst_proces
   auto it = recv_links_.find(key);
   if (it == recv_links_.end()) {
     const uint64_t child = HashCombine(HashCombine(seed_, kRecvDomain), key);
-    it = recv_links_.emplace(key, std::make_unique<RecvLinkFaults>(child, profile_)).first;
+    const uint64_t skew = HashCombine(HashCombine(seed_, kSkewDomain), key);
+    it = recv_links_
+             .emplace(key, std::make_unique<RecvLinkFaults>(child, profile_, skew))
+             .first;
   }
   return it->second.get();
 }

@@ -62,6 +62,14 @@ struct FaultProfile {
   uint32_t max_dispatch_delay_us = 200;
   double adoption_delay_prob = 0.0;     // stall before adopting a replacement connection
   uint32_t max_adoption_delay_us = 300;
+  // Per-link dispatch skew: when set, every receive link scales its dispatch-delay
+  // probability and magnitude by a factor drawn once from a domain-separated per-link
+  // stream, and spends delays against an independent per-link budget. Different links
+  // therefore see systematically different skews (fast links race far ahead of slow
+  // ones), while per-link FIFO stays intact by construction — the receiver thread itself
+  // sleeps, so no frame overtakes another on its own link.
+  bool link_dispatch_skew = false;
+  uint64_t dispatch_delay_budget_us = 50000;  // per-link cap on total injected delay
 
   // A mixed-intensity profile with every fault class enabled, derived from the seed so a
   // sweep covers light and heavy injection. Used by the seeded test sweeps.
@@ -89,16 +97,21 @@ class LinkFaults final : public LinkFaultHook {
 // Consumed by exactly one receiver thread (the RecvLinkFaultHook contract), so no locking.
 class RecvLinkFaults final : public RecvLinkFaultHook {
  public:
-  RecvLinkFaults(uint64_t seed, const FaultProfile& profile)
-      : rng_(seed), profile_(profile) {}
+  // `skew_seed` feeds the one-shot per-link skew draw (used only when
+  // profile.link_dispatch_skew is set); the decision stream itself stays on `seed`.
+  RecvLinkFaults(uint64_t seed, const FaultProfile& profile, uint64_t skew_seed = 0);
 
   ReadStep Next(size_t remaining) override;
   uint32_t DispatchDelayUs(uint64_t frame_index) override;
   uint32_t AdoptionDelayUs(uint64_t replacement_index) override;
 
+  double skew_multiplier() const { return skew_mult_; }
+
  private:
   Rng rng_;
   FaultProfile profile_;
+  double skew_mult_ = 1.0;
+  uint64_t delay_budget_us_ = ~uint64_t{0};
 };
 
 // Flush perturbation for one process's accumulators. Called from multiple worker threads,

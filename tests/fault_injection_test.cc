@@ -18,6 +18,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,50 @@ TEST(FaultInjectionTest, DistinctLinksGetIndependentStreams) {
     }
   }
   EXPECT_GT(diverged, 0) << "per-link streams are correlated";
+}
+
+TEST(FaultInjectionTest, DispatchSkewIsPerLinkSystematicAndDeterministic) {
+  FaultProfile profile;
+  profile.dispatch_delay_prob = 0.5;
+  profile.max_dispatch_delay_us = 200;
+  profile.link_dispatch_skew = true;
+  profile.dispatch_delay_budget_us = 10'000'000;
+  const uint64_t seed = 9090;
+  FaultPlan a(seed, profile);
+  FaultPlan b(seed, profile);
+  std::set<double> mults;
+  uint64_t min_spend = ~uint64_t{0};
+  uint64_t max_spend = 0;
+  for (uint32_t src = 0; src < 3; ++src) {
+    for (uint32_t dst = 0; dst < 3; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      // The plan only ever hands out RecvLinkFaults for receive links.
+      auto* ra = static_cast<RecvLinkFaults*>(a.RecvLink(src, dst));
+      auto* rb = static_cast<RecvLinkFaults*>(b.RecvLink(src, dst));
+      // The one-shot skew draw is a pure function of (seed, link)...
+      ASSERT_EQ(ra->skew_multiplier(), rb->skew_multiplier());
+      mults.insert(ra->skew_multiplier());
+      uint64_t spend = 0;
+      for (uint64_t i = 0; i < 4096; ++i) {
+        const uint32_t d = ra->DispatchDelayUs(i);
+        // ...and so is the whole delay sequence behind it.
+        ASSERT_EQ(d, rb->DispatchDelayUs(i)) << "link " << src << "->" << dst
+                                             << " frame " << i;
+        spend += d;
+      }
+      EXPECT_LE(spend, profile.dispatch_delay_budget_us) << "budget overrun on link "
+                                                         << src << "->" << dst;
+      min_spend = std::min(min_spend, spend);
+      max_spend = std::max(max_spend, spend);
+    }
+  }
+  // Six directed links, six independent domain-separated draws: the multipliers must not
+  // collapse to a common value, and the induced per-link spend must diverge
+  // systematically (fast links race far ahead of slow ones).
+  EXPECT_GE(mults.size(), 5u);
+  EXPECT_GT(max_spend, 2 * min_spend) << "links do not diverge";
 }
 
 }  // namespace

@@ -263,6 +263,76 @@ TEST(CheckpointTest, IncrementalWccSurvivesRestore) {
   EXPECT_EQ(labels, want);
 }
 
+// Restore a graph containing a loop context while a notification is pending: the image
+// must carry both the cyclic graph's frontier seeding and the future-epoch notification,
+// and the notification must fire exactly once, after restore, when its epoch completes.
+TEST(CheckpointTest, LoopGraphWithPendingNotificationSurvivesRestore) {
+  std::atomic<int> fired{0};
+  std::mutex mu;
+  std::map<uint64_t, std::multiset<uint64_t>> outputs;
+  auto build = [&](Controller& ctl) {
+    GraphBuilder b(ctl);
+    auto [in, h] = NewInput<uint64_t>(b);
+    // Countdown loop: every value circulates, decrementing, until it hits zero; each
+    // circulated value leaves through the egress.
+    Stream<uint64_t> result = Iterate<uint64_t>(
+        in, 0, [](const uint64_t& x) { return x; },
+        [](LoopContext&, Stream<uint64_t> merged) {
+          return Select(Where(merged, [](const uint64_t& x) { return x > 0; }),
+                        [](const uint64_t& x) { return x - 1; });
+        });
+    Probe probe = Subscribe<uint64_t>(result, [&](uint64_t e, std::vector<uint64_t>& recs) {
+      std::lock_guard<std::mutex> lock(mu);
+      outputs[e].insert(recs.begin(), recs.end());
+    });
+    // A depth-0 observer of the loop's output holding a notification for epoch 3 —
+    // pending across the checkpoint below.
+    StageId sid = b.NewStage<FutureNotifyVertex>(
+        StageOptions{.name = "future",
+                     .parallelism = 1,
+                     .initial_notifications = {Timestamp(3)}},
+        [&fired](uint32_t) { return std::make_unique<FutureNotifyVertex>(&fired); });
+    b.Connect<FutureNotifyVertex, uint64_t>(result, sid);
+    return std::make_pair(h, probe);
+  };
+
+  std::vector<uint8_t> image;
+  {
+    Controller ctl(Config{.workers_per_process = 2});
+    auto [h, probe] = build(ctl);
+    ctl.Start();
+    h->OnNext({3});  // epoch 0
+    // The loop must fully drain and the subscriber's epoch-0 batch must be delivered
+    // before the capture; only the future notification stays pending across it.
+    probe.WaitPassed(0);
+    image = CheckpointProcess(ctl);
+    EXPECT_EQ(fired.load(), 0);
+    ctl.Stop();  // simulated failure
+  }
+
+  Controller ctl(Config{.workers_per_process = 2});
+  auto [h, probe] = build(ctl);
+  (void)probe;
+  std::vector<InputEpochs> inputs = RestoreProcess(ctl, image);
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0].next_epoch, 1u);
+  h->RestoreEpoch(inputs[0].next_epoch, inputs[0].closed);
+  ctl.Start();
+  h->OnNext({2});  // epoch 1
+  h->OnNext({});   // epoch 2
+  EXPECT_EQ(fired.load(), 0);  // epoch 3 not complete yet
+  h->OnNext({4});  // epoch 3
+  h->OnCompleted();
+  ctl.Join();
+  EXPECT_EQ(fired.load(), 1);  // pending notification restored and fired exactly once
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(outputs[0], (std::multiset<uint64_t>{0, 1, 2}));        // pre-failure epoch
+  EXPECT_EQ(outputs[1], (std::multiset<uint64_t>{0, 1}));           // replayed epochs
+  EXPECT_EQ(outputs.count(2), 0u);                                  // empty epoch: no batch
+  EXPECT_EQ(outputs[3], (std::multiset<uint64_t>{0, 1, 2, 3}));
+}
+
 // ---- Kill-and-recover: real process death via the src/ft/recovery.h driver ------------
 //
 // A forked child runs the MinPipeline over kKillEpochs deterministic epochs,

@@ -281,13 +281,14 @@ class RecvHarness {
   }
   ~RecvHarness() { transport_.Shutdown(); }
 
-  // Dials the transport as "process 0" and completes the identifying handshake.
+  // Dials the transport as "process 0" and completes the identifying handshake
+  // ([u32 src][u32 restart generation]).
   Socket Dial() {
     Socket s = Socket::ConnectLocal(port_);
     EXPECT_TRUE(s.valid());
-    const uint32_t me = 0;
+    const uint32_t hello[2] = {0, 0};
     EXPECT_TRUE(s.WriteAll(std::span<const uint8_t>(
-        reinterpret_cast<const uint8_t*>(&me), sizeof(me))));
+        reinterpret_cast<const uint8_t*>(hello), sizeof(hello))));
     return s;
   }
 
