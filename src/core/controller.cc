@@ -16,7 +16,7 @@ uint64_t VertexKey(StageId s, uint32_t index) {
 }  // namespace
 
 Controller::Controller(Config cfg)
-    : cfg_(cfg), tracker_(&graph_, &event_), local_router_(&tracker_) {
+    : cfg_(cfg), tracker_(&graph_, &event_, cfg.scoping), local_router_(&tracker_) {
   NAIAD_CHECK(cfg_.workers_per_process > 0);
   NAIAD_CHECK(cfg_.processes > 0);
   NAIAD_CHECK(cfg_.process_id < cfg_.processes);
@@ -149,6 +149,17 @@ void Controller::Stop() {
   }
   for (auto& w : workers_) {
     w->JoinThread();
+  }
+  // Publish the tracker's scoping accounting into the process metrics block now that the
+  // counters are final (workers joined).
+  if (obs::ProcessMetrics* pm = obs_->metrics().process()) {
+    const ProgressScopingStats ps = tracker_.ScopingStats();
+    pm->progress_boundary_updates.store(ps.boundary_updates, std::memory_order_relaxed);
+    pm->progress_boundary_bytes.store(ps.boundary_update_bytes, std::memory_order_relaxed);
+    pm->progress_occ_map_peak.store(ps.occ_map_peak, std::memory_order_relaxed);
+    pm->progress_occ_map_peak_root.store(ps.occ_map_peak_root, std::memory_order_relaxed);
+    pm->progress_query_memo_hits.store(ps.query_memo_hits, std::memory_order_relaxed);
+    pm->progress_query_scans.store(ps.query_scans, std::memory_order_relaxed);
   }
   // Single-process trace dump; cluster runs clear trace_path per-process and write one
   // combined file (src/net/cluster.cc) instead. Rings are safe to read here: every

@@ -1,7 +1,9 @@
 #include "src/net/cluster.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "src/base/stopwatch.h"
@@ -462,6 +464,20 @@ struct ProcessContext {
 
 }  // namespace
 
+ProgressScoping ProgressScopingFromEnv(ProgressScoping def) {
+  const char* v = std::getenv("NAIAD_PROGRESS_SCOPING");
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  const std::string s(v);
+  if (s == "scoped") {
+    return ProgressScoping::kScoped;
+  }
+  NAIAD_CHECK(s == "flat") << "NAIAD_PROGRESS_SCOPING must be 'flat' or 'scoped', got "
+                           << s;
+  return ProgressScoping::kFlat;
+}
+
 ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
   const uint32_t n = opts.processes;
   std::vector<ProcessContext> procs(n);
@@ -473,6 +489,7 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
     cfg.workers_per_process = opts.workers_per_process;
     cfg.batch_size = opts.batch_size;
     cfg.default_parallelism = opts.default_parallelism;
+    cfg.scoping = opts.scoping;
     cfg.obs = opts.obs;
     cfg.obs.trace_path.clear();  // the cluster writes one combined file below
     procs[p].ctl = std::make_unique<Controller>(cfg);
@@ -530,6 +547,13 @@ ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
     stats.data_bytes += t.bytes_sent(FrameType::kData);
     stats.data_frames += t.frames_sent(FrameType::kData);
     stats.reconnects += t.reconnects();
+    stats.progress_cross_scope_bytes += procs[p].router->cross_scope_update_bytes();
+    stats.progress_in_scope_bytes += procs[p].router->in_scope_update_bytes();
+    const ProgressScopingStats ps = procs[p].ctl->tracker().ScopingStats();
+    stats.progress_boundary_bytes += ps.boundary_update_bytes;
+    stats.progress_boundary_updates += ps.boundary_updates;
+    stats.occ_map_peak += ps.occ_map_peak;
+    stats.occ_map_peak_root += ps.occ_map_peak_root;
   }
   for (uint32_t p = 0; p < n; ++p) {
     procs[p].transport->Shutdown();

@@ -19,6 +19,7 @@
 #ifndef SRC_NET_PROGRESS_ROUTER_H_
 #define SRC_NET_PROGRESS_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -91,8 +92,25 @@ class DistributedProgressRouter final : public ProgressRouter {
   // notifications) before it has applied the +1s.
   bool Empty() const;
 
+  // Scope attribution of the emitted updates (bench/fig6c accounting). An update is
+  // cross-scope when its pointstamp lives in the root space — it must reach every
+  // process's global tracker no matter how progress is organized. An update at a loop-
+  // internal location is in-scope: under scoped tracking its occurrence count lives in a
+  // per-scope map and only the (cheaper) summarized boundary deltas, counted by
+  // ProgressTracker::ScopingStats, would cross; the flat broadcast carrying it anyway is
+  // precisely the overhead §3.3's single space pays. Flat mode attributes everything
+  // cross-scope, so flat numbers are the whole-protocol baseline.
+  uint64_t cross_scope_update_bytes() const {
+    return cross_scope_update_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t in_scope_update_bytes() const {
+    return in_scope_update_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   bool IsCentral() const { return ctl_->config().process_id == 0; }
+
+  void AccountScopes(const std::vector<ProgressUpdate>& updates);
 
   // Serializes and emits `updates` one level up: to all processes (direct) or to the
   // central accumulator, depending on the strategy.
@@ -121,6 +139,9 @@ class DistributedProgressRouter final : public ProgressRouter {
 
   mutable std::mutex central_mu_;  // process 0 only
   std::map<Pointstamp, int64_t> central_buf_;
+
+  std::atomic<uint64_t> cross_scope_update_bytes_{0};
+  std::atomic<uint64_t> in_scope_update_bytes_{0};
 };
 
 }  // namespace naiad

@@ -1,11 +1,13 @@
-// Progress-strategy equivalence (§3.3): the four broadcast strategies are different
-// encodings of the same protocol, so on any graph — including randomized loop graphs —
-// they must drive identical computations: same per-vertex OnNotify timestamp sequences,
-// same outputs.
+// Progress-strategy × scoping equivalence (§3.3): the four broadcast strategies are
+// different encodings of the same protocol, and flat vs scoped tracking are different
+// organizations of the same occurrence counts — so all 8 combinations, on any graph
+// including randomized loop graphs with a loop-within-a-loop, must drive identical
+// computations: same per-vertex OnNotify timestamp sequences, same outputs.
 //
 // Each seed builds a random pipeline (a chain of notify-recording stages, a loop whose
-// body decrements a per-record countdown, more recorders inside the loop) and runs it on
-// a 2-process cluster under all four ProgressStrategy values, driving epochs strictly
+// body decrements a per-record countdown, more recorders inside the loop, optionally a
+// nested inner loop decrementing a second countdown) and runs it on a 2-process cluster
+// under the full ProgressStrategy × ProgressScoping matrix, driving epochs strictly
 // sequentially (probe barrier between epochs) so the notification order at every vertex
 // is fully determined by the protocol rather than input-arrival races.
 
@@ -89,6 +91,7 @@ Stream<Rec> RecordNotifies(const Stream<Rec>& s, const std::string& tag, NotifyL
 struct Shape {
   uint32_t pre_chain;
   uint32_t loop_chain;
+  bool nested;  // loop-within-a-loop: the outer body decrements inside an inner Iterate
   bool post_recorder;
   uint64_t epochs;
   uint64_t recs_per_epoch;
@@ -100,6 +103,7 @@ Shape ShapeFromSeed(uint64_t seed) {
   Shape s;
   s.pre_chain = 1 + static_cast<uint32_t>(rng.Below(2));
   s.loop_chain = 1 + static_cast<uint32_t>(rng.Below(2));
+  s.nested = rng.Below(2) == 0;
   s.post_recorder = rng.Below(2) == 0;
   s.epochs = 2 + rng.Below(2);
   s.recs_per_epoch = 6 + rng.Below(11);
@@ -124,12 +128,16 @@ struct RunResult {
   std::map<uint64_t, uint64_t> output;  // id -> times seen at egress
 };
 
-RunResult RunShape(const Shape& shape, ProgressStrategy strategy) {
+RunResult RunShape(const Shape& shape, ProgressStrategy strategy,
+                   ProgressScoping scoping) {
   RunResult result;
   NotifyLog log;
   std::mutex out_mu;
   Cluster::Run(
-      ClusterOptions{.processes = 2, .workers_per_process = 1, .strategy = strategy},
+      ClusterOptions{.processes = 2,
+                     .workers_per_process = 1,
+                     .strategy = strategy,
+                     .scoping = scoping},
       [&](Controller& ctl) {
         GraphBuilder b(ctl);
         auto [in, handle] = NewInput<Rec>(b);
@@ -137,12 +145,26 @@ RunResult RunShape(const Shape& shape, ProgressStrategy strategy) {
         for (uint32_t i = 0; i < shape.pre_chain; ++i) {
           cur = RecordNotifies(cur, "pre" + std::to_string(i), &log);
         }
+        const auto part = [](const Rec& r) { return KeyHash(r.first); };
         cur = Iterate<Rec>(
-            cur, /*max_iters=*/16, [](const Rec& r) { return KeyHash(r.first); },
+            cur, /*max_iters=*/16, part,
             [&](LoopContext&, const Stream<Rec>& merged) {
               Stream<Rec> body = merged;
               for (uint32_t i = 0; i < shape.loop_chain; ++i) {
                 body = RecordNotifies(body, "loop" + std::to_string(i), &log);
+              }
+              if (shape.nested) {
+                // Loop-within-a-loop: the decrement happens inside an inner Iterate
+                // whose egress re-emits each circulation's survivors, so inner-loop
+                // pointstamps (depth 2) are live while the outer loop still circulates.
+                return Iterate<Rec>(
+                    body, /*max_iters=*/4, part,
+                    [&](LoopContext&, const Stream<Rec>& inner_merged) {
+                      Stream<Rec> ib = RecordNotifies(inner_merged, "inner", &log);
+                      Stream<Rec> dec = Select(
+                          ib, [](const Rec& r) { return Rec{r.first, r.second - 1}; });
+                      return Where(dec, [](const Rec& r) { return r.second > 0; });
+                    });
               }
               Stream<Rec> dec = Select(
                   body, [](const Rec& r) { return Rec{r.first, r.second - 1}; });
@@ -184,26 +206,31 @@ std::string Render(const std::vector<Timestamp>& seq) {
 
 class ProgressEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(ProgressEquivalence, AllStrategiesProduceIdenticalNotifyOrders) {
+TEST_P(ProgressEquivalence, FullStrategyScopingMatrixProducesIdenticalNotifyOrders) {
   const Shape shape = ShapeFromSeed(GetParam());
   const ProgressStrategy strategies[] = {
       ProgressStrategy::kDirect, ProgressStrategy::kLocalAcc,
       ProgressStrategy::kGlobalAcc, ProgressStrategy::kLocalGlobalAcc};
-  RunResult ref = RunShape(shape, strategies[0]);
+  const ProgressScoping scopings[] = {ProgressScoping::kFlat, ProgressScoping::kScoped};
+  RunResult ref = RunShape(shape, strategies[0], scopings[0]);
   ASSERT_FALSE(ref.notifies.empty());
   ASSERT_FALSE(ref.output.empty());
-  for (size_t i = 1; i < 4; ++i) {
-    RunResult got = RunShape(shape, strategies[i]);
-    EXPECT_EQ(got.output, ref.output) << "strategy " << ToString(strategies[i]);
-    ASSERT_EQ(got.notifies.size(), ref.notifies.size())
-        << "strategy " << ToString(strategies[i]);
-    for (const auto& [vertex, want] : ref.notifies) {
-      auto it = got.notifies.find(vertex);
-      ASSERT_NE(it, got.notifies.end())
-          << "strategy " << ToString(strategies[i]) << " missing " << vertex;
-      EXPECT_EQ(it->second, want)
-          << "strategy " << ToString(strategies[i]) << " vertex " << vertex << "\n  got  "
-          << Render(it->second) << "\n  want " << Render(want);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      if (i == 0 && j == 0) {
+        continue;  // the reference itself
+      }
+      const std::string label = std::string("strategy ") + ToString(strategies[i]) +
+                                " scoping " + ToString(scopings[j]);
+      RunResult got = RunShape(shape, strategies[i], scopings[j]);
+      EXPECT_EQ(got.output, ref.output) << label;
+      ASSERT_EQ(got.notifies.size(), ref.notifies.size()) << label;
+      for (const auto& [vertex, want] : ref.notifies) {
+        auto it = got.notifies.find(vertex);
+        ASSERT_NE(it, got.notifies.end()) << label << " missing " << vertex;
+        EXPECT_EQ(it->second, want) << label << " vertex " << vertex << "\n  got  "
+                                    << Render(it->second) << "\n  want " << Render(want);
+      }
     }
   }
 }
