@@ -11,9 +11,16 @@
 //
 // Expected shape here: Naiad beats the per-iteration-materializing baseline by one to two
 // orders of magnitude on the iteration-heavy algorithms (WCC/ASP), less on PageRank whose
-// fixed iteration count bounds the gap.
+// fixed iteration count bounds the gap. The PageRank-CSR / WCC-CSR rows run the same
+// dataflows on the columnar substrate (src/algo/csr.h) against the same batch baseline.
+//
+// Scale knobs (EXPERIMENTS.md "Scale sweeps"):
+//   --edges=N   edge count (default 120000)
+//   --nodes=N   node count (default edges/4)
 
 #include <atomic>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/algo/asp.h"
@@ -32,6 +39,16 @@ constexpr uint32_t kWorkers = 4;
 constexpr uint64_t kPrIters = 10;
 constexpr uint64_t kSccRounds = 3;
 const std::vector<uint64_t> kAspSources = {1, 2, 3, 4};
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t dflt) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return dflt;
+}
 
 template <typename BuildFn>
 double TimeNaiad(const std::vector<Edge>& edges, BuildFn build) {
@@ -59,17 +76,20 @@ void Sink(const Stream<T>& s) {
 }  // namespace
 }  // namespace naiad
 
-int main() {
+int main(int argc, char** argv) {
   using namespace naiad;
+  const uint64_t edges_n = FlagU64(argc, argv, "edges", 120000);
+  const uint64_t nodes_n = FlagU64(argc, argv, "nodes", edges_n / 4);
   bench::Header("Table 1", "batch iterative graph algorithms (§6.1)",
                 "in-memory iteration beats per-iteration state serialization by 1-2 orders "
                 "of magnitude (Naiad vs DryadLINQ: PageRank 15x, SCC 8.6x, WCC 600x, ASP "
                 "660x)");
-  const std::vector<Edge> edges = RandomGraph(30000, 120000, 21);
+  const std::vector<Edge> edges = RandomGraph(nodes_n, edges_n, 21);
   const std::string spill = "/tmp/naiad_table1.spill";
-  bench::Row("synthetic web graph: 30k nodes, 120k edges; %u workers; spill file: %s",
-             kWorkers, spill.c_str());
-  bench::Row("%-10s %-14s %-14s %-12s", "algorithm", "naiad (s)", "batch (s)", "speedup");
+  bench::Row("synthetic web graph: %llu nodes, %llu edges; %u workers; spill file: %s",
+             static_cast<unsigned long long>(nodes_n),
+             static_cast<unsigned long long>(edges_n), kWorkers, spill.c_str());
+  bench::Row("%-12s %-14s %-14s %-12s", "algorithm", "naiad (s)", "batch (s)", "speedup");
 
   {
     const double naiad_s = TimeNaiad(edges, [&](GraphBuilder& b, Stream<Edge>& in) {
@@ -78,8 +98,13 @@ int main() {
     Stopwatch sw;
     BatchPageRank(edges, kPrIters, spill);
     const double batch_s = sw.ElapsedSeconds();
-    bench::Row("%-10s %-14.3f %-14.3f %-12.1fx", "PageRank", naiad_s, batch_s,
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "PageRank", naiad_s, batch_s,
                batch_s / naiad_s);
+    const double csr_s = TimeNaiad(edges, [&](GraphBuilder& b, Stream<Edge>& in) {
+      Sink(PageRankCsr(in, kPrIters));
+    });
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "PageRank-CSR", csr_s, batch_s,
+               batch_s / csr_s);
   }
   {
     const double naiad_s = TimeNaiad(edges, [&](GraphBuilder& b, Stream<Edge>& in) {
@@ -88,7 +113,7 @@ int main() {
     Stopwatch sw;
     BatchScc(edges, kSccRounds, spill);
     const double batch_s = sw.ElapsedSeconds();
-    bench::Row("%-10s %-14.3f %-14.3f %-12.1fx", "SCC", naiad_s, batch_s,
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "SCC", naiad_s, batch_s,
                batch_s / naiad_s);
   }
   {
@@ -98,8 +123,13 @@ int main() {
     Stopwatch sw;
     BatchWcc(edges, spill);
     const double batch_s = sw.ElapsedSeconds();
-    bench::Row("%-10s %-14.3f %-14.3f %-12.1fx", "WCC", naiad_s, batch_s,
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "WCC", naiad_s, batch_s,
                batch_s / naiad_s);
+    const double csr_s = TimeNaiad(edges, [&](GraphBuilder& b, Stream<Edge>& in) {
+      Sink(ConnectedComponentsCsr(in));
+    });
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "WCC-CSR", csr_s, batch_s,
+               batch_s / csr_s);
   }
   {
     double naiad_s = 0;
@@ -121,7 +151,7 @@ int main() {
     Stopwatch sw;
     BatchAsp(edges, kAspSources, spill);
     const double batch_s = sw.ElapsedSeconds();
-    bench::Row("%-10s %-14.3f %-14.3f %-12.1fx", "ASP", naiad_s, batch_s,
+    bench::Row("%-12s %-14.3f %-14.3f %-12.1fx", "ASP", naiad_s, batch_s,
                batch_s / naiad_s);
   }
   return 0;

@@ -1,0 +1,235 @@
+// Columnar CSR graph substrate (ROADMAP item 4; "Essentials of Parallel Graph
+// Analytics" kit): flat compressed-sparse-row adjacency + dense per-vertex arrays,
+// replacing the unordered_map-of-Node state the Fig. 7 algorithms started from.
+//
+// Layout per shard (one shard = one physical vertex of a stage, owning the nodes n with
+// owner(n) == Mix64(n) % parallelism):
+//
+//   IdRemap     global u64 node id ↔ dense local u32 id (open-addressed intern table +
+//               local→global array). Local ids are assigned in first-seen order while the
+//               shard's edges stream in at iteration 0.
+//   CsrShard    offsets[n_local+1] + packed neighbor array (global ids), built once from
+//               the buffered edge list; the edge buffer is freed by the build.
+//   dense state vector<double> ranks / vector<uint64_t> labels indexed by local id —
+//               iteration sweeps are sequential array walks, no hashing, no pointers.
+//   FrontierBitmap
+//               one bit per local node plus a compact changed-list; iterations switch
+//               between sparse traversal (walk only the changed list) and a dense
+//               sequential scan of the whole CSR once the frontier covers enough of the
+//               shard (the shared-nothing analogue of push/pull direction switching —
+//               see DESIGN.md "Columnar graph substrate").
+//
+// Messages between shards travel as ColumnBatch struct-of-arrays records
+// (src/ser/columns.h), so the exchange path moves contiguous u64/f64 columns instead of
+// per-record pairs.
+
+#ifndef SRC_ALGO_CSR_H_
+#define SRC_ALGO_CSR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/gen/graphs.h"
+
+namespace naiad {
+
+// Open-addressed global→local intern table (power-of-two capacity, linear probing,
+// max ~50% load). ~0ULL is reserved as the empty-slot sentinel; node ids are user data
+// but a full-range id never occurs in the generators and is DCHECKed.
+class IdRemap {
+ public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+  static constexpr uint32_t kAbsent = ~0u;
+
+  IdRemap() { Rehash(1024); }
+
+  uint32_t size() const { return static_cast<uint32_t>(global_.size()); }
+  uint64_t ToGlobal(uint32_t local) const { return global_[local]; }
+  const std::vector<uint64_t>& globals() const { return global_; }
+
+  // Insert-or-get: returns the local id for `g`, assigning the next dense id on first
+  // sight.
+  uint32_t Intern(uint64_t g) {
+    NAIAD_DCHECK(g != kEmpty);
+    if (global_.size() * 2 >= keys_.size()) {
+      Rehash(keys_.size() * 2);
+    }
+    size_t slot = Mix64(g) & mask_;
+    while (keys_[slot] != kEmpty) {
+      if (keys_[slot] == g) {
+        return locals_[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+    const uint32_t local = static_cast<uint32_t>(global_.size());
+    keys_[slot] = g;
+    locals_[slot] = local;
+    global_.push_back(g);
+    return local;
+  }
+
+  // Lookup only: kAbsent when `g` was never interned.
+  uint32_t Find(uint64_t g) const {
+    size_t slot = Mix64(g) & mask_;
+    while (keys_[slot] != kEmpty) {
+      if (keys_[slot] == g) {
+        return locals_[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return kAbsent;
+  }
+
+ private:
+  void Rehash(size_t capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_locals = std::move(locals_);
+    keys_.assign(capacity, kEmpty);
+    locals_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) {
+        continue;
+      }
+      size_t slot = Mix64(old_keys[i]) & mask_;
+      while (keys_[slot] != kEmpty) {
+        slot = (slot + 1) & mask_;
+      }
+      keys_[slot] = old_keys[i];
+      locals_[slot] = old_locals[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> locals_;
+  size_t mask_ = 0;
+  std::vector<uint64_t> global_;  // local -> global
+};
+
+// CSR adjacency over a shard's local node set. Neighbors keep their *global* ids: they
+// are message destinations on other shards, so translating them would be wasted work.
+class CsrShard {
+ public:
+  // Builds from the shard's edge list, interning every endpoint into `remap` (so
+  // destination-only nodes get local ids with zero out-degree). Consumes `edges`.
+  static CsrShard Build(std::vector<Edge>&& edges, IdRemap& remap) {
+    CsrShard csr;
+    // Pass 1: intern endpoints and count out-degrees (sources only).
+    std::vector<uint32_t> degree;
+    auto bump = [&degree](uint32_t local) {
+      if (local >= degree.size()) {
+        degree.resize(local + 1, 0);
+      }
+      ++degree[local];
+    };
+    for (const Edge& e : edges) {
+      bump(remap.Intern(e.first));
+      remap.Intern(e.second);
+    }
+    const uint32_t n = remap.size();
+    degree.resize(n, 0);
+    // Pass 2: prefix-sum offsets, then scatter neighbors.
+    csr.offsets_.assign(n + 1, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      csr.offsets_[i + 1] = csr.offsets_[i] + degree[i];
+    }
+    csr.nbrs_.resize(edges.size());
+    std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const uint32_t src = remap.Find(e.first);
+      csr.nbrs_[cursor[src]++] = e.second;
+    }
+    edges.clear();
+    edges.shrink_to_fit();
+    return csr;
+  }
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(offsets_.size()) - 1; }
+  uint64_t num_edges() const { return nbrs_.size(); }
+  bool built() const { return !offsets_.empty(); }
+
+  uint64_t OutDegree(uint32_t local) const {
+    return local < num_nodes() ? offsets_[local + 1] - offsets_[local] : 0;
+  }
+
+  // Neighbor range of local node `local` (global ids, unless TranslateNeighbors ran).
+  const uint64_t* NbrBegin(uint32_t local) const { return nbrs_.data() + offsets_[local]; }
+  const uint64_t* NbrEnd(uint32_t local) const { return nbrs_.data() + offsets_[local + 1]; }
+
+  // Rewrites every neighbor id through `dst_remap` (interning on first sight), turning
+  // the packed array into *destination-local* ids. Used where the consumer accumulates
+  // into a dense per-destination array (e.g. the Morton-block PageRank variant) rather
+  // than shipping neighbors to their owner shards.
+  void TranslateNeighbors(IdRemap& dst_remap) {
+    for (uint64_t& nbr : nbrs_) {
+      nbr = dst_remap.Intern(nbr);
+    }
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // n_local + 1
+  std::vector<uint64_t> nbrs_;     // packed global neighbor ids
+};
+
+// One bit per local node plus the compact list of set positions, powering the
+// sparse/dense traversal switch: sparse iterations walk `changed()` only; once
+// `DensePreferred()` the iteration does one sequential scan of all nodes instead.
+class FrontierBitmap {
+ public:
+  void Resize(uint32_t n) {
+    n_ = n;
+    words_.assign((n + 63) / 64, 0);
+    changed_.clear();
+  }
+
+  // Extends capacity without clearing (for nodes interned after the initial build).
+  void Grow(uint32_t n) {
+    if (n > n_) {
+      n_ = n;
+      words_.resize((n + 63) / 64, 0);
+    }
+  }
+
+  uint32_t size() const { return n_; }
+  uint32_t count() const { return static_cast<uint32_t>(changed_.size()); }
+  bool any() const { return !changed_.empty(); }
+
+  bool Test(uint32_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  // Sets bit i, recording it in the changed-list on the 0→1 transition.
+  void Set(uint32_t i) {
+    uint64_t& w = words_[i >> 6];
+    const uint64_t bit = 1ULL << (i & 63);
+    if ((w & bit) == 0) {
+      w |= bit;
+      changed_.push_back(i);
+    }
+  }
+
+  void Clear() {
+    for (uint32_t i : changed_) {
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+    changed_.clear();
+  }
+
+  const std::vector<uint32_t>& changed() const { return changed_; }
+
+  // Direction switch: a dense sequential scan beats sparse gather once the frontier
+  // covers more than 1/kDenseDivisor of the shard (the constant is deliberately coarse —
+  // both sides of the switch are exercised by any multi-iteration run).
+  static constexpr uint32_t kDenseDivisor = 8;
+  bool DensePreferred() const { return count() * kDenseDivisor >= n_ && n_ > 0; }
+
+ private:
+  uint32_t n_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> changed_;
+};
+
+}  // namespace naiad
+
+#endif  // SRC_ALGO_CSR_H_

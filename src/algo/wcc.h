@@ -9,10 +9,15 @@
 #ifndef SRC_ALGO_WCC_H_
 #define SRC_ALGO_WCC_H_
 
+#include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
+#include "src/algo/csr.h"
 #include "src/algo/label_prop.h"
 #include "src/lib/operators.h"
+#include "src/ser/columns.h"
 
 namespace naiad {
 
@@ -23,6 +28,176 @@ inline Stream<NodeLabel> ConnectedComponents(const Stream<Edge>& edges) {
     return std::vector<Edge>{e, {e.second, e.first}};
   });
   Stream<NodeLabel> improvements = PropagateMinLabels(sym, LabelScope::kPerContext);
+  return GroupBy(
+      improvements, [](const NodeLabel& nl) { return nl.first; },
+      [](const uint64_t& node, std::vector<NodeLabel>& labels) {
+        uint64_t best = labels.front().second;
+        for (const NodeLabel& nl : labels) {
+          best = std::min(best, nl.second);
+        }
+        return std::vector<NodeLabel>{{node, best}};
+      });
+}
+
+// ---------------------------------------------------------------------------------------
+// CSR variant: synchronous min-label propagation on the columnar substrate.
+//
+// Where LabelPropagateVertex is fully asynchronous (proposals fan out the moment they are
+// accepted, per-proposal), this vertex runs frontier-synchronous rounds: the CSR is built
+// from the symmetrized edges at the iteration-0 notification, label proposals travel as
+// LabelColumns batches, and each round drains the iteration's batches into a dense label
+// array, then re-proposes only from the frontier of nodes whose label improved. Rounds
+// switch between a sparse pass (walk the changed-list — random access into the CSR) and a
+// dense pass (sequential scan of all nodes testing the bitmap) once the frontier covers
+// enough of the shard; this is the shared-nothing analogue of push/pull direction
+// switching. The loop quiesces when a round improves nothing: no proposals are sent, so
+// no downstream vertex is notified, and the epoch's frontier drains.
+//
+// Output 2 carries (node, label) improvements exactly like the legacy vertex (initial
+// self-labels at round 0, then one improvement per node per round), so the same GroupBy
+// min-reduction produces identical final components.
+// ---------------------------------------------------------------------------------------
+
+class WccCsrVertex final : public Binary2Vertex<Edge, LabelColumns, LabelColumns, NodeLabel> {
+ public:
+  void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
+    Ctx& c = ctx_[t.Popped()];
+    c.edges.insert(c.edges.end(), edges.begin(), edges.end());
+    MaybeNotify(c, t);
+  }
+
+  void OnRecv2(const Timestamp& t, std::vector<LabelColumns>& batches) override {
+    // Stash whole batches until the round's notification (arrivals are asynchronous
+    // across iterations, and the CSR may not exist yet).
+    Ctx& c = ctx_[t.Popped()];
+    auto& inbox = c.inbox[t];
+    for (LabelColumns& b : batches) {
+      inbox.push_back(std::move(b));
+    }
+    MaybeNotify(c, t);
+  }
+
+  void OnNotify(const Timestamp& t) override {
+    Ctx& c = ctx_[t.Popped()];
+    c.notified.erase(t);
+    const bool first_round = !c.csr.built();
+    if (first_round) {
+      // Round 0: build the CSR, self-label every local node, announce the initial labels
+      // (the legacy vertex emits (node, node) on first touch), and propose to everyone.
+      c.csr = CsrShard::Build(std::move(c.edges), c.remap);
+      const uint32_t n = c.remap.size();
+      c.labels.resize(n);
+      c.frontier.Resize(n);
+      for (uint32_t local = 0; local < n; ++local) {
+        c.labels[local] = c.remap.ToGlobal(local);
+        output2().Send(t, {c.labels[local], c.labels[local]});
+      }
+    }
+    // Drain this round's proposals. Every endpoint of a symmetrized edge appears as a
+    // source on its owner shard, so proposals normally name known nodes; intern
+    // defensively anyway (mirrors the legacy try_emplace).
+    if (auto it = c.inbox.find(t); it != c.inbox.end()) {
+      for (const LabelColumns& b : it->second) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          uint32_t local = c.remap.Find(b.keys[i]);
+          if (local == IdRemap::kAbsent) {
+            local = c.remap.Intern(b.keys[i]);
+            c.labels.push_back(b.keys[i]);
+            c.frontier.Grow(c.remap.size());
+            output2().Send(t, {b.keys[i], b.keys[i]});
+          }
+          if (b.vals[i] < c.labels[local]) {
+            c.labels[local] = b.vals[i];
+            c.frontier.Set(local);
+          }
+        }
+      }
+      c.inbox.erase(it);
+    }
+    if (!first_round) {
+      // One improvement per changed node per round; GroupBy keeps the min.
+      for (uint32_t local : c.frontier.changed()) {
+        output2().Send(t, {c.remap.ToGlobal(local), c.labels[local]});
+      }
+    }
+    if (first_round || c.frontier.any()) {
+      SendProposals(t, c, /*all=*/first_round);
+    }
+    c.frontier.Clear();
+  }
+
+ private:
+  struct Ctx {
+    std::vector<Edge> edges;
+    IdRemap remap;
+    CsrShard csr;
+    std::vector<uint64_t> labels;  // dense, indexed by local id
+    FrontierBitmap frontier;
+    std::map<Timestamp, std::vector<LabelColumns>> inbox;
+    std::set<Timestamp> notified;
+  };
+
+  void MaybeNotify(Ctx& c, const Timestamp& t) {
+    if (!c.notified.contains(t)) {
+      c.notified.insert(t);
+      NotifyAt(t);
+    }
+  }
+
+  void SendProposals(const Timestamp& t, Ctx& c, bool all) {
+    const uint32_t shards = controller().graph().stage(address().stage).parallelism;
+    const size_t flush_at = controller().config().batch_size;
+    auto sink = [&](LabelColumns&& b) { output1().Send(t, std::move(b)); };
+    ColumnWriter<uint64_t, uint64_t, decltype(sink)> cw(shards, flush_at, sink);
+    auto propose = [&](uint32_t local) {
+      const uint64_t label = c.labels[local];
+      const uint64_t* end = c.csr.NbrEnd(local);
+      for (const uint64_t* p = c.csr.NbrBegin(local); p != end; ++p) {
+        cw.Push(static_cast<uint32_t>(Mix64(*p) % shards), *p, label);
+      }
+    };
+    if (all || c.frontier.DensePreferred()) {
+      // Dense pass: sequential sweep of the whole CSR (pull-style locality).
+      const uint32_t n = c.csr.num_nodes();
+      for (uint32_t local = 0; local < n; ++local) {
+        if (all || c.frontier.Test(local)) {
+          propose(local);
+        }
+      }
+    } else {
+      // Sparse pass: only the changed nodes, in discovery order.
+      for (uint32_t local : c.frontier.changed()) {
+        if (local < c.csr.num_nodes()) {
+          propose(local);
+        }
+      }
+    }
+    cw.Drain();
+  }
+
+  std::map<Timestamp, Ctx> ctx_;
+};
+
+// Batch WCC on the columnar substrate: same symmetrize → propagate → min-reduce shape as
+// ConnectedComponents, with the propagation loop running WccCsrVertex over LabelColumns.
+inline Stream<NodeLabel> ConnectedComponentsCsr(const Stream<Edge>& edges) {
+  GraphBuilder& b = *edges.builder;
+  Stream<Edge> sym = SelectMany(edges, [](const Edge& e) {
+    return std::vector<Edge>{e, {e.second, e.first}};
+  });
+  LoopContext loop(b, sym.depth, "wcc-csr");
+  FeedbackHandle<LabelColumns> fb = loop.NewFeedback<LabelColumns>();
+  Stream<Edge> in_loop =
+      loop.Ingress<Edge>(sym, [](const Edge& e) { return Mix64(e.first); });
+  StageId wcc = b.NewStage<WccCsrVertex>(
+      StageOptions{.name = "wcc-csr", .depth = loop.inner_depth()},
+      [](uint32_t) { return std::make_unique<WccCsrVertex>(); });
+  b.Connect<WccCsrVertex, Edge>(in_loop, wcc, 0);
+  b.Connect<WccCsrVertex, LabelColumns>(
+      fb.stream(), wcc, 1, [](const LabelColumns& lc) { return lc.part; });
+  fb.ConnectLoop(b.OutputOf<LabelColumns>(wcc, 0),
+                 [](const LabelColumns& lc) { return lc.part; });
+  Stream<NodeLabel> improvements = loop.Egress<NodeLabel>(b.OutputOf<NodeLabel>(wcc, 1));
   return GroupBy(
       improvements, [](const NodeLabel& nl) { return nl.first; },
       [](const uint64_t& node, std::vector<NodeLabel>& labels) {

@@ -41,41 +41,70 @@ class Rng {
   uint64_t state_;
 };
 
-// Zipf-distributed sampler over {0, .., n-1} with exponent s, via inverse-CDF over a
-// precomputed table. Used for skewed degree distributions and word frequencies.
+// Zipf-distributed sampler over {0, .., n-1} with exponent s, via Vose's alias method:
+// O(n) table build, O(1) per draw (one uniform index + one biased coin), versus the
+// previous inverse-CDF binary search's O(log n) per draw — at 10^8 draws for a bench
+// graph that log-factor dominated setup time. Used for skewed degree distributions and
+// word frequencies.
 class ZipfSampler {
  public:
-  ZipfSampler(uint64_t n, double s, uint64_t seed) : rng_(seed), cdf_(n) {
+  ZipfSampler(uint64_t n, double s, uint64_t seed) : rng_(seed), prob_(n), alias_(n) {
     NAIAD_CHECK(n > 0);
+    // Normalized Zipf pmf, scaled by n so the alias split is against 1.0.
+    std::vector<double> scaled(n);
     double total = 0;
     for (uint64_t i = 0; i < n; ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
-      cdf_[i] = total;
+      scaled[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+      total += scaled[i];
     }
+    const double scale = static_cast<double>(n) / total;
     for (uint64_t i = 0; i < n; ++i) {
-      cdf_[i] /= total;
+      scaled[i] *= scale;
+    }
+    // Vose worklists: pair each under-full column with an over-full donor.
+    std::vector<uint64_t> small;
+    std::vector<uint64_t> large;
+    for (uint64_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint64_t s_i = small.back();
+      const uint64_t l_i = large.back();
+      small.pop_back();
+      prob_[s_i] = scaled[s_i];
+      alias_[s_i] = l_i;
+      scaled[l_i] -= 1.0 - scaled[s_i];
+      if (scaled[l_i] < 1.0) {
+        large.pop_back();
+        small.push_back(l_i);
+      }
+    }
+    // Leftovers (either list) are numerically ~1.0: fill as certain columns.
+    for (uint64_t i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (uint64_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
     }
   }
 
-  uint64_t Next() {
-    double u = rng_.NextDouble();
-    // Binary search the CDF.
-    size_t lo = 0;
-    size_t hi = cdf_.size() - 1;
-    while (lo < hi) {
-      size_t mid = (lo + hi) / 2;
-      if (cdf_[mid] < u) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+  // Draw with the sampler's internal stream (sequential use).
+  uint64_t Next() { return Sample(rng_); }
+
+  // Draw with a caller-supplied stream — lets counter-based generators derive edge i's
+  // randomness from Rng(HashCombine(seed, i)) so output is independent of draw order and
+  // shard layout. Two uniforms per draw, no table search.
+  uint64_t Sample(Rng& rng) const {
+    const uint64_t col = rng.Below(prob_.size());
+    return rng.NextDouble() < prob_[col] ? col : alias_[col];
   }
 
  private:
   Rng rng_;
-  std::vector<double> cdf_;
+  std::vector<double> prob_;
+  std::vector<uint64_t> alias_;
 };
 
 }  // namespace naiad

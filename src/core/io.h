@@ -65,6 +65,28 @@ class InputHandle {
 
   void OnNext() { OnNext(std::vector<T>{}); }
 
+  // Streams a chunk of the *current* epoch without completing it: records are routed and
+  // their +counts broadcast, but the epoch-(e)-open pointstamp at the input location is
+  // untouched, so downstream completeness for e cannot fire until OnNext seals it. Lets a
+  // driver feed a 10^8-record epoch through a bounded buffer (see PowerLawEdgeStream)
+  // instead of materializing it for one OnNext call.
+  void OnPartial(std::vector<T> data) {
+    NAIAD_CHECK(!closed_);
+    NAIAD_CHECK(ctl_->started());
+    if (data.empty()) {
+      return;
+    }
+    const Timestamp t(next_epoch_);
+    const StageDef& def = ctl_->graph().stage(stage_);
+    const auto& fanout = def.outputs[0];
+    for (size_t i = 0; i < fanout.size(); ++i) {
+      std::vector<T> copy = (i + 1 == fanout.size()) ? std::move(data) : data;
+      RouteRecords(fanout[i], t, std::move(copy));
+    }
+    ctl_->progress_router().Broadcast(progress_.Take());
+    ctl_->event().NotifyAll();
+  }
+
   // Fault tolerance: fast-forward this handle to the epoch saved in a checkpoint image.
   // Only valid before any OnNext call on this handle (§3.4 restore path).
   void RestoreEpoch(uint64_t next_epoch, bool closed) {

@@ -62,6 +62,71 @@ inline std::vector<Edge> PowerLawBothGraph(uint64_t nodes, uint64_t edges, doubl
   return out;
 }
 
+// Streaming sharded power-law edge generator for the 10^7–10^9 scale sweeps
+// (EXPERIMENTS.md "Scale sweeps"). Differences from the materializing generators above:
+//
+//   * Counter-based: edge i is derived from Rng(HashCombine(seed, i)), not from a
+//     sequential stream. The value of edge i therefore does not depend on which shard
+//     draws it or in what order, so the union of edges over all shards is exactly the
+//     full edge set regardless of `parts` (tested in tests/gen_test.cc).
+//   * Sharded at the source: shard `part` produces edges {i : i % parts == part} without
+//     any process ever materializing the whole graph.
+//   * Chunked: NextChunk appends up to `max_chunk` edges, so a driver can feed a
+//     multi-gigabyte graph through a bounded buffer.
+//
+// The O(nodes) alias-table build is per-stream; everything per-edge is O(1).
+class PowerLawEdgeStream {
+ public:
+  struct Options {
+    uint64_t nodes = 0;
+    uint64_t edges = 0;
+    double exponent = 1.05;
+    uint64_t seed = 0;
+    uint32_t part = 0;
+    uint32_t parts = 1;
+  };
+
+  explicit PowerLawEdgeStream(const Options& opts)
+      : opts_(opts),
+        src_zipf_(opts.nodes, opts.exponent, /*seed=*/0),
+        dst_zipf_(opts.nodes, opts.exponent, /*seed=*/0),
+        next_(opts.part) {
+    NAIAD_CHECK(opts.parts > 0 && opts.part < opts.parts);
+  }
+
+  // Edge i of the full graph, independent of sharding (counter-based derivation).
+  Edge EdgeAt(uint64_t i) const {
+    Rng r(HashCombine(opts_.seed, i));
+    const uint64_t src = Mix64(src_zipf_.Sample(r) + 1) % opts_.nodes;
+    const uint64_t dst = Mix64(dst_zipf_.Sample(r)) % opts_.nodes;
+    return {src, dst};
+  }
+
+  // Appends up to `max_chunk` of this shard's remaining edges to `out`; returns the
+  // number appended (0 = exhausted).
+  size_t NextChunk(std::vector<Edge>& out, size_t max_chunk) {
+    size_t produced = 0;
+    while (produced < max_chunk && next_ < opts_.edges) {
+      out.push_back(EdgeAt(next_));
+      next_ += opts_.parts;
+      ++produced;
+    }
+    return produced;
+  }
+
+  uint64_t remaining() const {
+    return next_ >= opts_.edges ? 0 : (opts_.edges - next_ - 1) / opts_.parts + 1;
+  }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  ZipfSampler src_zipf_;  // sampled via caller-supplied Rng; internal streams unused
+  ZipfSampler dst_zipf_;
+  uint64_t next_;  // next edge index owned by this shard
+};
+
 // The `part`-th of `parts` shards of the graph a generator with this seed produces; used
 // by SPMD drivers. Sharding is by position, so the union over parts is exactly the whole
 // graph.

@@ -14,10 +14,10 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/algo/csr.h"
 #include "src/core/loop.h"
 #include "src/core/stage.h"
 #include "src/gen/graphs.h"
@@ -82,8 +82,7 @@ class PregelStageVertex final
   void OnRecv1(const Timestamp& t, std::vector<Edge>& edges) override {
     Ctx& c = CtxFor(t);
     for (const Edge& e : edges) {
-      c.nodes.try_emplace(e.first, Node{initial_, {}, false});
-      c.nodes[e.first].out.push_back(e.second);
+      c.nodes[Materialize(c, e.first)].out.push_back(e.second);
     }
     MaybeNotify(c, t);
   }
@@ -91,11 +90,15 @@ class PregelStageVertex final
   void OnRecv2(const Timestamp& t, std::vector<std::pair<uint64_t, M>>& msgs) override {
     Ctx& c = CtxFor(t);
     // Inboxes are keyed by superstep timestamp: messages for superstep i+1 may be
-    // delivered before OnNotify(i) runs (§2.2's asynchronous delivery).
+    // delivered before OnNotify(i) runs (§2.2's asynchronous delivery). Within one
+    // superstep they are dense vectors indexed by local node id.
     auto& inbox = c.inboxes[t];
     for (auto& [dst, m] : msgs) {
-      c.nodes.try_emplace(dst, Node{initial_, {}, false});
-      inbox[dst].push_back(std::move(m));
+      const uint32_t local = Materialize(c, dst);
+      if (local >= inbox.size()) {
+        inbox.resize(c.nodes.size());
+      }
+      inbox[local].push_back(std::move(m));
     }
     MaybeNotify(c, t);
   }
@@ -104,25 +107,28 @@ class PregelStageVertex final
     Ctx& c = CtxFor(t);
     c.notified.erase(t);
     const uint64_t step = t.coords.back();
-    std::map<uint64_t, std::vector<M>> inbox;
+    std::vector<std::vector<M>> inbox;
     if (auto it = c.inboxes.find(t); it != c.inboxes.end()) {
       inbox = std::move(it->second);
       c.inboxes.erase(it);
     }
     bool any_active = false;
     static const std::vector<M> kNoMessages;
-    for (auto& [id, n] : c.nodes) {
-      auto mit = inbox.find(id);
-      const bool has_msgs = mit != inbox.end();
+    // Dense sequential sweep in local-id order (compute_ cannot create nodes, so the
+    // array is stable across the loop).
+    for (uint32_t local = 0; local < c.nodes.size(); ++local) {
+      Node& n = c.nodes[local];
+      const bool has_msgs = local < inbox.size() && !inbox[local].empty();
       if (n.halted && !has_msgs) {
         continue;
       }
       n.halted = false;  // a message reactivates a halted node
+      const uint64_t id = c.remap.ToGlobal(local);
       PregelNodeContext<S, M> ctx(id, step, &n.state, &n.out,
                                   [&](uint64_t dst, const M& m) {
                                     this->output1().Send(t, {dst, m});
                                   });
-      compute_(ctx, has_msgs ? mit->second : kNoMessages);
+      compute_(ctx, has_msgs ? inbox[local] : kNoMessages);
       n.halted = ctx.voted_halt();
       if (!n.halted) {
         any_active = true;
@@ -144,12 +150,23 @@ class PregelStageVertex final
     bool halted = false;
   };
   struct Ctx {
-    std::unordered_map<uint64_t, Node> nodes;
-    std::map<Timestamp, std::map<uint64_t, std::vector<M>>> inboxes;
+    IdRemap remap;
+    std::vector<Node> nodes;  // dense, indexed by local id (first-seen order)
+    std::map<Timestamp, std::vector<std::vector<M>>> inboxes;
     std::set<Timestamp> notified;
   };
 
   Ctx& CtxFor(const Timestamp& t) { return ctx_[t.Popped()]; }
+
+  // Insert-or-get the dense slot for global node `g` (IdRemap assigns local ids densely,
+  // so a fresh intern always lands at the back of the array).
+  uint32_t Materialize(Ctx& c, uint64_t g) {
+    const uint32_t local = c.remap.Intern(g);
+    if (local >= c.nodes.size()) {
+      c.nodes.push_back(Node{initial_, {}, false});
+    }
+    return local;
+  }
 
   void MaybeNotify(Ctx& c, const Timestamp& t) {
     if (t.coords.back() >= max_supersteps_) {

@@ -260,6 +260,109 @@ TEST_P(AlgoSweep, EdgePartitionedPageRankMatchesVertexVariant) {
   }
 }
 
+// CSR-substrate equivalence (the columnar rewrite must be a pure representation change):
+// same reference, same tolerance as the variants it replaces.
+
+TEST_P(AlgoSweep, CsrPageRankMatchesReference) {
+  std::vector<Edge> edges = RandomGraph(40, 80, GetParam() + 600);
+  constexpr uint64_t kIters = 8;
+  Gather<NodeRank> out;
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<Edge>(b);
+  Subscribe<NodeRank>(PageRankCsr(in, kIters), out.callback());
+  ctl.Start();
+  handle->OnNext(edges);
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::map<uint64_t, double> want = RefPageRank(edges, kIters);
+  std::map<uint64_t, double> got;
+  for (const NodeRank& nr : out.by_epoch[0]) {
+    ASSERT_TRUE(got.try_emplace(nr.first, nr.second).second)
+        << "node " << nr.first << " emitted twice";
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [n, r] : want) {
+    EXPECT_NEAR(got[n], r, 1e-9) << "node " << n;
+  }
+}
+
+TEST_P(AlgoSweep, CsrPageRankMatchesVertexVariantOnPowerLaw) {
+  std::vector<Edge> edges = PowerLawGraph(48, 150, 1.1, GetParam() + 650);
+  constexpr uint64_t kIters = 6;
+  auto run = [&](auto build) {
+    Gather<NodeRank> out;
+    Controller ctl(Config{.workers_per_process = 4});
+    GraphBuilder b(ctl);
+    auto [in, handle] = NewInput<Edge>(b);
+    Subscribe<NodeRank>(build(in), out.callback());
+    ctl.Start();
+    handle->OnNext(edges);
+    handle->OnCompleted();
+    ctl.Join();
+    std::map<uint64_t, double> got;
+    for (const NodeRank& nr : out.by_epoch[0]) {
+      got[nr.first] = nr.second;
+    }
+    return got;
+  };
+  std::map<uint64_t, double> vertex =
+      run([&](Stream<Edge>& in) { return PageRank(in, kIters); });
+  std::map<uint64_t, double> csr =
+      run([&](Stream<Edge>& in) { return PageRankCsr(in, kIters); });
+  ASSERT_EQ(csr.size(), vertex.size());
+  for (const auto& [n, r] : vertex) {
+    ASSERT_TRUE(csr.contains(n)) << "node " << n;
+    EXPECT_NEAR(csr[n], r, 1e-9) << "node " << n;
+  }
+}
+
+TEST_P(AlgoSweep, CsrWccMatchesUnionFind) {
+  std::vector<Edge> edges = RandomGraph(60, 90, GetParam() + 700);
+  Gather<NodeLabel> out;
+  Controller ctl(Config{.workers_per_process = 3});
+  GraphBuilder b(ctl);
+  auto [in, handle] = NewInput<Edge>(b);
+  Subscribe<NodeLabel>(ConnectedComponentsCsr(in), out.callback());
+  ctl.Start();
+  handle->OnNext(edges);
+  handle->OnCompleted();
+  ctl.Join();
+
+  std::map<uint64_t, uint64_t> got;
+  for (const NodeLabel& nl : out.by_epoch[0]) {
+    got[nl.first] = nl.second;
+  }
+  EXPECT_EQ(got, RefWcc(edges));
+}
+
+TEST_P(AlgoSweep, CsrWccMatchesLegacyOnPowerLaw) {
+  std::vector<Edge> edges = PowerLawGraph(64, 140, 1.2, GetParam() + 750);
+  auto run = [&](auto build) {
+    Gather<NodeLabel> out;
+    Controller ctl(Config{.workers_per_process = 4});
+    GraphBuilder b(ctl);
+    auto [in, handle] = NewInput<Edge>(b);
+    Subscribe<NodeLabel>(build(in), out.callback());
+    ctl.Start();
+    handle->OnNext(edges);
+    handle->OnCompleted();
+    ctl.Join();
+    std::map<uint64_t, uint64_t> got;
+    for (const NodeLabel& nl : out.by_epoch[0]) {
+      got[nl.first] = nl.second;
+    }
+    return got;
+  };
+  std::map<uint64_t, uint64_t> legacy =
+      run([&](Stream<Edge>& in) { return ConnectedComponents(in); });
+  std::map<uint64_t, uint64_t> csr =
+      run([&](Stream<Edge>& in) { return ConnectedComponentsCsr(in); });
+  EXPECT_EQ(csr, legacy);
+  EXPECT_EQ(csr, RefWcc(edges));
+}
+
 TEST_P(AlgoSweep, AspMatchesBfs) {
   std::vector<Edge> edges = RandomGraph(50, 100, GetParam() + 400);
   std::vector<uint64_t> sources = {1, 2, 3};

@@ -1,0 +1,150 @@
+// Tests for the synthetic graph generators, focused on the streaming sharded path
+// (PowerLawEdgeStream) and the alias-method ZipfSampler it relies on. The property that
+// carries the 10^8-edge multi-process runs: the union of edges produced by the shards is
+// exactly the full edge set, regardless of how many shards the driver uses.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/rng.h"
+#include "src/gen/graphs.h"
+
+namespace naiad {
+namespace {
+
+PowerLawEdgeStream::Options Opts(uint32_t part, uint32_t parts) {
+  PowerLawEdgeStream::Options o;
+  o.nodes = 500;
+  o.edges = 3000;
+  o.exponent = 1.1;
+  o.seed = 77;
+  o.part = part;
+  o.parts = parts;
+  return o;
+}
+
+std::vector<Edge> DrainAll(PowerLawEdgeStream& s, size_t chunk) {
+  std::vector<Edge> out;
+  std::vector<Edge> buf;
+  while (s.NextChunk(buf, chunk) > 0) {
+    out.insert(out.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  return out;
+}
+
+TEST(PowerLawEdgeStreamTest, EdgeAtIsDeterministicAndInRange) {
+  PowerLawEdgeStream a(Opts(0, 1));
+  PowerLawEdgeStream b(Opts(0, 1));
+  for (uint64_t i = 0; i < 100; ++i) {
+    const Edge e = a.EdgeAt(i);
+    EXPECT_EQ(e, b.EdgeAt(i));
+    EXPECT_LT(e.first, Opts(0, 1).nodes);
+    EXPECT_LT(e.second, Opts(0, 1).nodes);
+  }
+  // EdgeAt is stateless: querying out of order gives the same answers.
+  EXPECT_EQ(a.EdgeAt(42), b.EdgeAt(42));
+  EXPECT_EQ(a.EdgeAt(7), b.EdgeAt(7));
+}
+
+TEST(PowerLawEdgeStreamTest, UnionOverShardsIsInvariantToShardCount) {
+  // The whole point of counter-based derivation: re-running the sweep with a different
+  // process count must synthesize the same graph.
+  PowerLawEdgeStream whole_stream(Opts(0, 1));
+  const std::vector<Edge> whole = DrainAll(whole_stream, 64);
+  ASSERT_EQ(whole.size(), Opts(0, 1).edges);
+  for (uint32_t parts : {2u, 3u, 7u}) {
+    std::vector<Edge> merged;
+    for (uint32_t part = 0; part < parts; ++part) {
+      PowerLawEdgeStream s(Opts(part, parts));
+      std::vector<Edge> mine = DrainAll(s, 50);
+      merged.insert(merged.end(), mine.begin(), mine.end());
+    }
+    ASSERT_EQ(merged.size(), whole.size()) << "parts=" << parts;
+    std::vector<Edge> a = whole;
+    std::sort(a.begin(), a.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, a) << "parts=" << parts;
+  }
+}
+
+TEST(PowerLawEdgeStreamTest, ShardsArePositionDisjoint) {
+  // Shard p owns exactly the edge indices {i : i % parts == p}, in increasing order.
+  const uint32_t parts = 3;
+  for (uint32_t part = 0; part < parts; ++part) {
+    PowerLawEdgeStream s(Opts(part, parts));
+    const std::vector<Edge> mine = DrainAll(s, 128);
+    uint64_t idx = part;
+    for (const Edge& e : mine) {
+      EXPECT_EQ(e, s.EdgeAt(idx));
+      idx += parts;
+    }
+    EXPECT_GE(idx, Opts(0, 1).edges);
+  }
+}
+
+TEST(PowerLawEdgeStreamTest, ChunkingIsExactAndRemainingCountsDown) {
+  PowerLawEdgeStream s(Opts(1, 4));
+  const uint64_t total = s.remaining();
+  // 3000 edges, 4 parts, part 1 owns indices 1,5,...,2997: 750 edges.
+  EXPECT_EQ(total, 750u);
+  std::vector<Edge> buf;
+  uint64_t seen = 0;
+  size_t got;
+  while ((got = s.NextChunk(buf, 97)) > 0) {
+    seen += got;
+    EXPECT_EQ(s.remaining(), total - seen);
+  }
+  EXPECT_EQ(seen, total);
+  EXPECT_EQ(buf.size(), total);  // NextChunk appends
+  EXPECT_EQ(s.NextChunk(buf, 97), 0u);
+}
+
+TEST(ZipfSamplerTest, SampleIsPureInTheSuppliedRng) {
+  ZipfSampler zipf(100, 1.05, /*seed=*/0);
+  for (uint64_t i = 0; i < 200; ++i) {
+    Rng a(HashCombine(5, i));
+    Rng b(HashCombine(5, i));
+    const uint64_t x = zipf.Sample(a);
+    EXPECT_EQ(x, zipf.Sample(b));
+    EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, InternalStreamIsSeedDeterministic) {
+  ZipfSampler a(64, 1.2, 9);
+  ZipfSampler b(64, 1.2, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfSamplerTest, AliasTableMatchesZipfShape) {
+  // The alias method must reproduce the Zipf pmf: rank 0 strictly dominates, and the
+  // empirical head frequency lands near 1/H_n for a big sample.
+  const uint64_t n = 32;
+  const double s = 1.0;
+  ZipfSampler zipf(n, s, 123);
+  std::map<uint64_t, uint64_t> counts;
+  const uint64_t draws = 200000;
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++counts[zipf.Next()];
+  }
+  double harmonic = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    harmonic += 1.0 / static_cast<double>(i);
+  }
+  const double expect_head = 1.0 / harmonic;
+  const double got_head = static_cast<double>(counts[0]) / static_cast<double>(draws);
+  EXPECT_NEAR(got_head, expect_head, 0.01);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[8]);
+}
+
+}  // namespace
+}  // namespace naiad
