@@ -16,7 +16,10 @@ uint64_t VertexKey(StageId s, uint32_t index) {
 }  // namespace
 
 Controller::Controller(Config cfg)
-    : cfg_(cfg), tracker_(&graph_, &event_, cfg.scoping), local_router_(&tracker_) {
+    : cfg_(cfg),
+      tracker_(&graph_, cfg.shared_event != nullptr ? cfg.shared_event : &event_,
+               cfg.scoping),
+      local_router_(&tracker_) {
   NAIAD_CHECK(cfg_.workers_per_process > 0);
   NAIAD_CHECK(cfg_.processes > 0);
   NAIAD_CHECK(cfg_.process_id < cfg_.processes);
@@ -126,15 +129,22 @@ void Controller::Start() {
     ReceiveRemoteBundle(f);
   }
 
-  for (auto& w : workers_) {
-    w->Start();
+  // In job-server mode the server's shared host threads drive the workers via RunPass();
+  // spawning per-job threads here would defeat the sharing. The flag gates those hosts
+  // off the workers until the seeding above is fully published.
+  workers_live_.store(true, std::memory_order_release);
+  event().NotifyAll();
+  if (!cfg_.external_workers) {
+    for (auto& w : workers_) {
+      w->Start();
+    }
   }
 }
 
 void Controller::Join() {
   NAIAD_CHECK(started_);
-  tracker_.WaitFor([&] { return tracker_.Empty(); });
-  if (quiesce_hook_) {
+  tracker_.WaitFor([&] { return tracker_.Empty() || cancelled(); });
+  if (quiesce_hook_ && !cancelled()) {
     quiesce_hook_();
   }
   Stop();
@@ -181,7 +191,7 @@ bool Controller::AllInboxesEmpty() const {
 void Controller::PauseAndDrain() {
   NAIAD_CHECK(started_);
   pause_.store(true, std::memory_order_release);
-  event_.NotifyAll();
+  event().NotifyAll();
   // Wait until every worker is parked with nothing queued anywhere. Parked workers cannot
   // generate messages, so (parked == N && inboxes empty && local queues empty) is stable
   // provided external producers are quiet (the caller's contract).
@@ -198,7 +208,7 @@ void Controller::PauseAndDrain() {
 
 void Controller::Resume() {
   pause_.store(false, std::memory_order_release);
-  event_.NotifyAll();
+  event().NotifyAll();
 }
 
 void Controller::ReceiveRemoteBundle(std::span<const uint8_t> frame) {

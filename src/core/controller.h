@@ -39,6 +39,13 @@ struct Config {
   // obs.trace_path is nonempty, Stop() writes this process's trace there; cluster runs
   // clear it per-process and write one combined file instead.
   obs::ObsOptions obs;
+  // Job-server mode: many controllers (one per registered job) share one wait/notify
+  // channel and one pool of host threads. When shared_event is set, the tracker and all
+  // worker parking use it instead of the controller's private EventCount, so progress on
+  // any job wakes the shared hosts. When external_workers is set, Start() does not spawn
+  // worker threads — the job server drives each Worker via RunPass() from its own pool.
+  EventCount* shared_event = nullptr;
+  bool external_workers = false;
 };
 
 // Ships serialized record bundles to peer processes; implemented by src/net.
@@ -58,7 +65,7 @@ class Controller {
   LogicalGraph& graph() { return graph_; }
   const LogicalGraph& graph() const { return graph_; }
   ProgressTracker& tracker() { return tracker_; }
-  EventCount& event() { return event_; }
+  EventCount& event() { return cfg_.shared_event != nullptr ? *cfg_.shared_event : event_; }
   const Config& config() const { return cfg_; }
 
   uint32_t total_workers() const { return cfg_.processes * cfg_.workers_per_process; }
@@ -67,14 +74,28 @@ class Controller {
   }
   bool started() const { return started_; }
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+  // True once Start() has fully published the vertices and seeded notifications. External
+  // worker hosts (Config::external_workers) must gate RunPass() on this: before the flip,
+  // the starting thread still mutates worker-owned state (notification seeding).
+  bool workers_live() const { return workers_live_.load(std::memory_order_acquire); }
 
   // Freezes the graph, instantiates this process's vertices, seeds the initial pointstamps
   // (§2.3: one per input stage at epoch 0), and launches worker threads.
   void Start();
   // Waits until the computation has drained (all inputs closed, no active pointstamps),
   // runs the quiesce hook if any (distributed termination barrier), then stops workers.
+  // A cancelled controller skips the hook: a torn-down job must not wait on a barrier
+  // its peers will never complete.
   void Join();
   void Stop();
+
+  // Job teardown: unblocks Join() (and any tracker WaitFor using `cancelled()` in its
+  // predicate) without waiting for the computation to drain.
+  void RequestCancel() {
+    cancelled_.store(true, std::memory_order_release);
+    event().NotifyAll();
+  }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
 
   Worker& worker(uint32_t local_index) { return *workers_[local_index]; }
   VertexBase* LocalVertex(StageId s, uint32_t index);
@@ -164,6 +185,8 @@ class Controller {
   std::vector<std::vector<uint8_t>> early_frames_;
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> workers_live_{false};
   std::atomic<bool> pause_{false};
   std::atomic<uint32_t> parked_{0};
 };

@@ -302,6 +302,25 @@ void Worker::ThreadMain() {
   FlushProgress();
 }
 
+bool Worker::RunPass() {
+  // Host threads exist before any job does, so the ring registration that ThreadMain does
+  // at entry happens lazily here, on the first pass a host runs for this worker.
+  if (trace_ == nullptr && ctl_->obs().tracer().enabled()) {
+    trace_ = ctl_->obs().tracer().RegisterThread("worker" + std::to_string(global_index_));
+  }
+  return DispatchOnce();
+}
+
+void Worker::IdleFlush() {
+  FlushProgress();
+  ctl_->progress_router().OnWorkerIdle();
+}
+
+void Worker::DeliverFinalPurges() {
+  TryDeliverPurges(/*force=*/true);
+  FlushProgress();
+}
+
 bool Worker::DrainForTest() {
   bool any = false;
   while (DispatchOnce()) {

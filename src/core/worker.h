@@ -67,6 +67,14 @@ class Worker {
   void RequestStop();
   void JoinThread();
 
+  // Job-server mode (Config::external_workers): a shared host thread drives the worker
+  // instead of a dedicated one. The same host thread must make every call for a given
+  // worker — the single-owner-thread contract carries over unchanged.
+  bool RunPass();             // one scheduling pass; true if any callback ran
+  void IdleFlush();           // the idle-edge duties of ThreadMain (flush + router poke)
+  void DeliverFinalPurges();  // the shutdown duties of ThreadMain (forced purge drain)
+  bool InboxEmpty() const { return inbox_.Empty(); }
+
   // Test support: run pending work on the calling thread until none remains; returns
   // whether anything ran. Only valid when the worker thread is not running.
   bool DrainForTest();

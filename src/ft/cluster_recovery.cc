@@ -281,15 +281,23 @@ void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_e
   Controller* ctl = ctl_.get();
   DistributedProgressRouter* router = router_.get();
   ClusterControl* control = control_.get();
-  cb.on_data = [ctl](uint32_t, std::span<const uint8_t> p) { ctl->ReceiveRemoteBundle(p); };
-  cb.on_progress = [router](uint32_t src, std::span<const uint8_t> p) {
-    router->OnProgressFrame(src, p);
-  };
-  cb.on_progress_acc = [router](uint32_t src, std::span<const uint8_t> p) {
-    router->OnAccumulatorFrame(src, p);
-  };
-  cb.on_control = [control](uint32_t src, std::span<const uint8_t> p) {
-    control->HandleControl(src, p);
+  // Single-job cluster: every frame carries job 0, so the demux is just a type switch.
+  cb.on_frame = [ctl, router, control](FrameType type, uint32_t src, uint32_t /*job*/,
+                                       std::span<const uint8_t> p, bool /*wire*/) {
+    switch (type) {
+      case FrameType::kData:
+        ctl->ReceiveRemoteBundle(p);
+        break;
+      case FrameType::kProgress:
+        router->OnProgressFrame(src, p);
+        break;
+      case FrameType::kProgressAcc:
+        router->OnAccumulatorFrame(src, p);
+        break;
+      case FrameType::kControl:
+        control->HandleControl(src, p);
+        break;
+    }
   };
   cb.on_peer_down = [control](uint32_t peer) { control->ReportFailure(peer); };
   transport_->Start(ports_, std::move(cb));
@@ -447,15 +455,23 @@ std::string ClusterImagePath(const std::string& dir, uint32_t process, uint64_t 
 
 std::string ClusterManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 
-bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes) {
+bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes,
+                          const std::vector<uint32_t>& jobs) {
   ByteWriter w;
   w.WriteU32(kManifestMagic);
   w.WriteU64(epoch);
   w.WriteU32(processes);
+  // The registered-job set at commit time: a recovering cluster must re-register exactly
+  // these dataflows before adopting the epoch. The single-job harness writes {0}.
+  w.WriteU32(static_cast<uint32_t>(jobs.size()));
+  for (uint32_t j : jobs) {
+    w.WriteU32(j);
+  }
   return WriteCheckpointFile(ClusterManifestPath(dir), w.buffer());
 }
 
-uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes) {
+uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes,
+                             std::vector<uint32_t>* jobs) {
   CheckpointReadResult res = ReadCheckpointFileEx(ClusterManifestPath(dir));
   if (!res.ok()) {
     return kNoManifestEpoch;  // absent or unverifiable: not adoptable, fall back to fresh
@@ -464,6 +480,17 @@ uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes) 
   NAIAD_CHECK(r.ReadU32() == kManifestMagic) << "not a cluster manifest";
   const uint64_t epoch = r.ReadU64();
   NAIAD_CHECK(r.ReadU32() == expect_processes) << "manifest from a different cluster shape";
+  const uint32_t njobs = r.ReadU32();
+  NAIAD_CHECK(njobs >= 1) << "manifest committed with no registered job";
+  if (jobs != nullptr) {
+    jobs->clear();
+  }
+  for (uint32_t i = 0; i < njobs; ++i) {
+    const uint32_t j = r.ReadU32();
+    if (jobs != nullptr) {
+      jobs->push_back(j);
+    }
+  }
   NAIAD_CHECK(r.ok());
   return epoch;
 }

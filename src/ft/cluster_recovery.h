@@ -88,14 +88,19 @@ struct ClusterRunConfig {
 std::string ClusterImagePath(const std::string& dir, uint32_t process, uint64_t epoch);
 std::string ClusterManifestPath(const std::string& dir);
 
-// Atomically publishes "checkpoint epoch `epoch` is complete for `processes` processes".
-// Called only by process 0, only after every process acked durable (the commit rule).
-bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes);
+// Atomically publishes "checkpoint epoch `epoch` is complete for `processes` processes,
+// with `jobs` registered on the job server at commit time". Called only by process 0,
+// only after every process acked durable (the commit rule). The single-job harness
+// records job 0.
+bool WriteClusterManifest(const std::string& dir, uint64_t epoch, uint32_t processes,
+                          const std::vector<uint32_t>& jobs = {0});
 
 // Returns the last committed checkpoint epoch, or kNoManifestEpoch when no (valid)
-// manifest exists. A manifest for a different process count fails loudly.
+// manifest exists; when `jobs` is non-null it receives the manifest's registered-job set.
+// A manifest for a different process count fails loudly.
 inline constexpr uint64_t kNoManifestEpoch = ~uint64_t{0};
-uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes);
+uint64_t ReadClusterManifest(const std::string& dir, uint32_t expect_processes,
+                             std::vector<uint32_t>* jobs = nullptr);
 
 struct ClusterKillOutcome {
   bool launched = false;   // all members forked and the port map was distributed

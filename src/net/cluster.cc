@@ -1,5 +1,7 @@
 #include "src/net/cluster.h"
 
+#include "src/net/job_server.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -13,26 +15,31 @@ namespace naiad {
 
 namespace {
 
-// Control-frame kinds. kReport/kVerdict drive the termination barrier; kCkpt* drive the
-// cluster checkpoint (quiet-point rounds, then the durable/commit exchange); kFailure and
-// kRecover drive the coordinated restart of src/ft/cluster_recovery.h.
-constexpr uint8_t kReport = 0;
-constexpr uint8_t kVerdict = 1;
-constexpr uint8_t kCkptReport = 2;
-constexpr uint8_t kCkptVerdict = 3;
-constexpr uint8_t kCkptDurable = 4;
-constexpr uint8_t kCkptCommit = 5;
-constexpr uint8_t kFailure = 6;
-constexpr uint8_t kRecover = 7;
-
 // Barrier waits poll so a concurrent recovery request is never missed (matches the
 // ProgressTracker::WaitFor cadence).
 constexpr auto kPoll = std::chrono::milliseconds(1);
 
 }  // namespace
 
-ClusterControl::TrafficCounters ClusterControl::SnapshotCounters(const TcpTransport& t) {
+ClusterControl::TrafficCounters ClusterControl::SnapshotCounters() const {
   TrafficCounters c;
+  if (traffic_ != nullptr) {
+    // Job-server mode: only this job's wire traffic feeds the stability check, so another
+    // job's concurrent chatter cannot keep this barrier from stabilizing (and a quiet job
+    // cannot be declared stable while its own frames are still in flight).
+    const auto sent = [&](FrameType t) {
+      return traffic_->frames_sent[static_cast<size_t>(t)].load(std::memory_order_relaxed);
+    };
+    const auto recv = [&](FrameType t) {
+      return traffic_->frames_received[static_cast<size_t>(t)].load(
+          std::memory_order_relaxed);
+    };
+    c.v = {sent(FrameType::kData),        recv(FrameType::kData),
+           sent(FrameType::kProgress),    recv(FrameType::kProgress),
+           sent(FrameType::kProgressAcc), recv(FrameType::kProgressAcc)};
+    return c;
+  }
+  const TcpTransport& t = *transport_;
   c.v = {t.frames_sent(FrameType::kData),        t.frames_received(FrameType::kData),
          t.frames_sent(FrameType::kProgress),    t.frames_received(FrameType::kProgress),
          t.frames_sent(FrameType::kProgressAcc), t.frames_received(FrameType::kProgressAcc)};
@@ -43,7 +50,7 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
   ByteReader r(payload);
   const uint8_t kind = r.ReadU8();
   switch (kind) {
-    case kVerdict: {
+    case kCtlVerdict: {
       const uint64_t round = r.ReadU64();
       const bool ok = r.ReadU8() != 0;
       NAIAD_CHECK(r.ok());
@@ -56,13 +63,13 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
       cv_.notify_all();
       return;
     }
-    case kReport:
+    case kCtlReport:
       HandleTerminationReport(src, r);
       return;
-    case kCkptReport:
+    case kCtlCkptReport:
       HandleCheckpointReport(src, r);
       return;
-    case kCkptVerdict: {
+    case kCtlCkptVerdict: {
       const uint64_t epoch = r.ReadU64();
       const uint64_t round = r.ReadU64();
       const bool ok = r.ReadU8() != 0;
@@ -77,7 +84,7 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
       cv_.notify_all();
       return;
     }
-    case kCkptDurable: {
+    case kCtlCkptDurable: {
       const uint64_t epoch = r.ReadU64();
       const bool ok = r.ReadU8() != 0;
       NAIAD_CHECK(r.ok());
@@ -97,7 +104,7 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
       cv_.notify_all();
       return;
     }
-    case kCkptCommit: {
+    case kCtlCkptCommit: {
       const uint64_t epoch = r.ReadU64();
       const bool ok = r.ReadU8() != 0;
       NAIAD_CHECK(r.ok());
@@ -110,7 +117,7 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
       cv_.notify_all();
       return;
     }
-    case kFailure: {
+    case kCtlFailure: {
       const uint32_t victim = r.ReadU32();
       NAIAD_CHECK(r.ok());
       if (!finished()) {
@@ -118,7 +125,7 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
       }
       return;
     }
-    case kRecover: {
+    case kCtlRecover: {
       r.ReadU32();  // victim; informational only
       NAIAD_CHECK(r.ok());
       if (!finished()) {
@@ -169,12 +176,13 @@ void ClusterControl::HandleTerminationReport(uint32_t src, ByteReader& r) {
       existing.valid = false;
     }
     ByteWriter w(&verdict_payload);
-    w.WriteU8(kVerdict);
+    w.WriteU8(kCtlVerdict);
     w.WriteU64(term_round_);
     w.WriteU8(ok ? 1 : 0);
     ++term_round_;
   }
-  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
+  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true,
+                             job_);
 }
 
 void ClusterControl::HandleCheckpointReport(uint32_t src, ByteReader& r) {
@@ -235,12 +243,13 @@ void ClusterControl::HandleCheckpointReport(uint32_t src, ByteReader& r) {
       existing.valid = false;
     }
     ByteWriter w(&verdict_payload);
-    w.WriteU8(kCkptVerdict);
+    w.WriteU8(kCtlCkptVerdict);
     w.WriteU64(epoch);
     w.WriteU64(rep.round);
     w.WriteU8(ok ? 1 : 0);
   }
-  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true);
+  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true,
+                             job_);
 }
 
 void ClusterControl::BroadcastRecover(uint32_t victim) {
@@ -249,11 +258,11 @@ void ClusterControl::BroadcastRecover(uint32_t victim) {
   }
   std::vector<uint8_t> payload;
   ByteWriter w(&payload);
-  w.WriteU8(kRecover);
+  w.WriteU8(kCtlRecover);
   w.WriteU32(victim);
   // Includes self, which sets this process's own recovery flag; the send to the dead
   // victim fails harmlessly (its peer-down report deduplicates against the flag).
-  transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true);
+  transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true, job_);
 }
 
 void ClusterControl::ReportFailure(uint32_t victim) {
@@ -271,9 +280,9 @@ void ClusterControl::ReportFailure(uint32_t victim) {
   }
   std::vector<uint8_t> payload;
   ByteWriter w(&payload);
-  w.WriteU8(kFailure);
+  w.WriteU8(kCtlFailure);
   w.WriteU32(victim);
-  transport_->Send(coordinator, FrameType::kControl, std::move(payload));
+  transport_->Send(coordinator, FrameType::kControl, std::move(payload), job_);
 }
 
 void ClusterControl::RequestRecovery() {
@@ -298,13 +307,13 @@ bool ClusterControl::RunTerminationBarrier() {
     router_->FlushAll();
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
-    w.WriteU8(kReport);
+    w.WriteU8(kCtlReport);
     w.WriteU64(round);
     w.WriteU8(ctl_->tracker().Empty() ? 1 : 0);
-    for (uint64_t c : SnapshotCounters(*transport_).v) {
+    for (uint64_t c : SnapshotCounters().v) {
       w.WriteU64(c);
     }
-    transport_->Send(0, FrameType::kControl, std::move(payload));
+    transport_->Send(0, FrameType::kControl, std::move(payload), job_);
     bool ok = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -346,18 +355,18 @@ bool ClusterControl::RunCheckpointBarrier(
     // Snapshot counters BEFORE probing local quiet: receivers count a frame only after
     // dispatching it, so every frame in this snapshot is already visible to the probes
     // below, and a frame missing from it trips the coordinator's sent/received check.
-    const TrafficCounters counters = SnapshotCounters(*transport_);
+    const TrafficCounters counters = SnapshotCounters();
     const bool quiet = ctl_->InboxesEmpty() && router_->Empty();
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
-    w.WriteU8(kCkptReport);
+    w.WriteU8(kCtlCkptReport);
     w.WriteU64(epoch);
     w.WriteU64(round);
     w.WriteU8(quiet ? 1 : 0);
     for (uint64_t c : counters.v) {
       w.WriteU64(c);
     }
-    transport_->Send(0, FrameType::kControl, std::move(payload));
+    transport_->Send(0, FrameType::kControl, std::move(payload), job_);
     bool got = false;
     bool ok = false;
     {
@@ -395,10 +404,10 @@ bool ClusterControl::RunCheckpointBarrier(
   {
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
-    w.WriteU8(kCkptDurable);
+    w.WriteU8(kCtlCkptDurable);
     w.WriteU64(epoch);
     w.WriteU8(durable ? 1 : 0);
-    transport_->Send(0, FrameType::kControl, std::move(payload));
+    transport_->Send(0, FrameType::kControl, std::move(payload), job_);
   }
 
   // Phase 3: the coordinator commits the manifest strictly after every process reported
@@ -422,10 +431,10 @@ bool ClusterControl::RunCheckpointBarrier(
     const bool commit = all_ok && write_manifest(epoch);
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
-    w.WriteU8(kCkptCommit);
+    w.WriteU8(kCtlCkptCommit);
     w.WriteU64(epoch);
     w.WriteU8(commit ? 1 : 0);
-    transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true);
+    transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true, job_);
   }
   bool committed = false;
   {
@@ -453,17 +462,6 @@ bool ClusterControl::RunCheckpointBarrier(
   return committed;
 }
 
-namespace {
-
-struct ProcessContext {
-  std::unique_ptr<Controller> ctl;
-  std::unique_ptr<TcpTransport> transport;
-  std::unique_ptr<DistributedProgressRouter> router;
-  std::unique_ptr<ClusterControl> control;
-};
-
-}  // namespace
-
 ProgressScoping ProgressScopingFromEnv(ProgressScoping def) {
   const char* v = std::getenv("NAIAD_PROGRESS_SCOPING");
   if (v == nullptr || *v == '\0') {
@@ -479,104 +477,14 @@ ProgressScoping ProgressScopingFromEnv(ProgressScoping def) {
 }
 
 ClusterStats Cluster::Run(const ClusterOptions& opts, const Body& body) {
-  const uint32_t n = opts.processes;
-  std::vector<ProcessContext> procs(n);
-  std::vector<uint16_t> ports(n);
-  for (uint32_t p = 0; p < n; ++p) {
-    Config cfg;
-    cfg.process_id = p;
-    cfg.processes = n;
-    cfg.workers_per_process = opts.workers_per_process;
-    cfg.batch_size = opts.batch_size;
-    cfg.default_parallelism = opts.default_parallelism;
-    cfg.scoping = opts.scoping;
-    cfg.obs = opts.obs;
-    cfg.obs.trace_path.clear();  // the cluster writes one combined file below
-    procs[p].ctl = std::make_unique<Controller>(cfg);
-    procs[p].transport = std::make_unique<TcpTransport>(p, n);
-    procs[p].transport->SetFaultPlan(opts.fault_plan);
-    procs[p].transport->SetObs(&procs[p].ctl->obs());
-    procs[p].router = std::make_unique<DistributedProgressRouter>(
-        procs[p].ctl.get(), procs[p].transport.get(), opts.strategy,
-        /*hold_limit=*/1024,
-        opts.fault_plan != nullptr ? opts.fault_plan->Progress(p) : nullptr);
-    procs[p].ctl->SetProgressRouter(procs[p].router.get());
-    procs[p].ctl->SetDataTransport(procs[p].transport.get());
-    procs[p].control = std::make_unique<ClusterControl>(
-        procs[p].ctl.get(), procs[p].transport.get(), procs[p].router.get());
-    ports[p] = procs[p].transport->Listen();
-  }
-
-  Stopwatch sw;
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (uint32_t p = 0; p < n; ++p) {
-    threads.emplace_back([&, p] {
-      ProcessContext& me = procs[p];
-      TcpTransport::Callbacks cb;
-      cb.on_data = [&me](uint32_t, std::span<const uint8_t> payload) {
-        me.ctl->ReceiveRemoteBundle(payload);
-      };
-      cb.on_progress = [&me](uint32_t src, std::span<const uint8_t> payload) {
-        me.router->OnProgressFrame(src, payload);
-      };
-      cb.on_progress_acc = [&me](uint32_t src, std::span<const uint8_t> payload) {
-        me.router->OnAccumulatorFrame(src, payload);
-      };
-      cb.on_control = [&me](uint32_t src, std::span<const uint8_t> payload) {
-        me.control->HandleControl(src, payload);
-      };
-      // No on_peer_down: in thread mode nothing can die out from under the run, so link
-      // teardown at the end of the run is never a suspected failure.
-      me.transport->Start(ports, std::move(cb));
-      me.ctl->SetQuiesceHook([&me] { me.control->RunTerminationBarrier(); });
-      body(*me.ctl);
-    });
-  }
-  for (auto& t : threads) {
-    t.join();
-  }
-  ClusterStats stats;
-  stats.elapsed_seconds = sw.ElapsedSeconds();
-  for (uint32_t p = 0; p < n; ++p) {
-    const TcpTransport& t = *procs[p].transport;
-    stats.progress_bytes +=
-        t.bytes_sent(FrameType::kProgress) + t.bytes_sent(FrameType::kProgressAcc);
-    stats.progress_frames +=
-        t.frames_sent(FrameType::kProgress) + t.frames_sent(FrameType::kProgressAcc);
-    stats.data_bytes += t.bytes_sent(FrameType::kData);
-    stats.data_frames += t.frames_sent(FrameType::kData);
-    stats.reconnects += t.reconnects();
-    stats.progress_cross_scope_bytes += procs[p].router->cross_scope_update_bytes();
-    stats.progress_in_scope_bytes += procs[p].router->in_scope_update_bytes();
-    const ProgressScopingStats ps = procs[p].ctl->tracker().ScopingStats();
-    stats.progress_boundary_bytes += ps.boundary_update_bytes;
-    stats.progress_boundary_updates += ps.boundary_updates;
-    stats.occ_map_peak += ps.occ_map_peak;
-    stats.occ_map_peak_root += ps.occ_map_peak_root;
-  }
-  for (uint32_t p = 0; p < n; ++p) {
-    procs[p].transport->Shutdown();
-  }
-  // Observability epilogue: every worker, sender, and receiver thread has been joined
-  // (body() ran Join/Stop; Shutdown joined the transport threads), so the metric blocks
-  // and trace rings are quiescent and safe to read.
-  if (opts.obs.metrics) {
-    obs::SnapshotBuilder b;
-    for (uint32_t p = 0; p < n; ++p) {
-      procs[p].ctl->obs().metrics().AccumulateInto(b, p);
-    }
-    stats.obs = b.Finalize();
-  }
-  if (opts.obs.tracing && !opts.obs.trace_path.empty()) {
-    std::vector<std::pair<uint32_t, const obs::Tracer*>> parts;
-    parts.reserve(n);
-    for (uint32_t p = 0; p < n; ++p) {
-      parts.emplace_back(p, &procs[p].ctl->obs().tracer());
-    }
-    obs::Tracer::WriteFile(opts.obs.trace_path, parts);
-  }
-  return stats;
+  // One-job run on the resident job server: the legacy single-dataflow entry point is now
+  // just a register/wait/stop sequence, so every Cluster::Run user exercises the same
+  // demux, stash, and per-job control plane the multi-tenant path does.
+  JobServer server(opts);
+  server.Start();
+  const JobId id = server.Submit(body);
+  server.Wait(id);
+  return server.Stop();
 }
 
 }  // namespace naiad

@@ -39,6 +39,23 @@
 
 namespace naiad {
 
+// Control-frame verbs (first payload byte of every kControl frame). kCtlReport/kCtlVerdict
+// drive the termination barrier; kCtlCkpt* drive the cluster checkpoint (quiet-point
+// rounds, then the durable/commit exchange); kCtlFailure/kCtlRecover drive the coordinated
+// restart of src/ft/cluster_recovery.h; kCtlRegisterJob/kCtlTeardownJob drive the job
+// server's dynamic registration (src/net/job_server.h). Shared in the header so the job
+// server's demux can recognize its verbs before any per-job ClusterControl exists.
+inline constexpr uint8_t kCtlReport = 0;
+inline constexpr uint8_t kCtlVerdict = 1;
+inline constexpr uint8_t kCtlCkptReport = 2;
+inline constexpr uint8_t kCtlCkptVerdict = 3;
+inline constexpr uint8_t kCtlCkptDurable = 4;
+inline constexpr uint8_t kCtlCkptCommit = 5;
+inline constexpr uint8_t kCtlFailure = 6;
+inline constexpr uint8_t kCtlRecover = 7;
+inline constexpr uint8_t kCtlRegisterJob = 8;
+inline constexpr uint8_t kCtlTeardownJob = 9;
+
 struct ClusterOptions {
   uint32_t processes = 2;
   uint32_t workers_per_process = 2;
@@ -53,6 +70,11 @@ struct ClusterOptions {
   // tracing is on, one combined Chrome trace-event file (one pid per process) is written
   // there after the run.
   obs::ObsOptions obs;
+  // Job-server quota: per process, per job, the bytes of frames buffered for a job that is
+  // announced but not yet registered locally. A job exceeding it has further pre-
+  // registration frames dropped (counted in ClusterStats::stash_overflow_drops) — it can
+  // stall itself, never the server or its neighbors.
+  size_t job_stash_limit_bytes = 16 << 20;
 };
 
 struct ClusterStats {
@@ -77,6 +99,20 @@ struct ClusterStats {
   double elapsed_seconds = 0;
   // Merged metrics across all processes; empty unless opts.obs.metrics was set.
   obs::ObsSnapshot obs;
+  // Job-server accounting. `jobs` has one entry per registered job (wire traffic summed
+  // across processes); the counters below record frames the demux refused to deliver.
+  struct JobStats {
+    uint32_t job = 0;
+    uint64_t data_frames = 0;
+    uint64_t data_bytes = 0;
+    uint64_t progress_frames = 0;
+    uint64_t progress_bytes = 0;
+    bool torn_down = false;  // cancelled mid-run rather than drained
+  };
+  std::vector<JobStats> jobs;
+  uint64_t stray_frames_dropped = 0;    // frames for unknown / already-torn-down jobs
+  uint64_t stash_overflow_drops = 0;    // pre-registration frames over the stash quota
+  uint64_t duplicate_frames_dropped = 0;  // receiver-side dedup hits (seq replay)
 };
 
 // Reads NAIAD_PROGRESS_SCOPING ("flat" / "scoped"); the sweep tests and the CI matrix use
@@ -91,9 +127,17 @@ ProgressScoping ProgressScopingFromEnv(
 // the lowest-ranked survivor.
 class ClusterControl {
  public:
+  // In job-server mode each job gets its own instance: `job` tags every control frame this
+  // instance emits (the server demuxes them back), and `traffic` — the job's wire-traffic
+  // accounting — replaces the transport's global counters in the barrier's stability
+  // checks, so concurrent jobs' traffic cannot keep each other's barriers from
+  // stabilizing. The finished_ latch below is therefore per-job by construction: one job's
+  // termination verdict never stops the server from accepting reports for another
+  // (ISSUE 8's Finish() bug).
   ClusterControl(Controller* ctl, TcpTransport* transport,
-                 DistributedProgressRouter* router)
-      : ctl_(ctl), transport_(transport), router_(router) {}
+                 DistributedProgressRouter* router, uint32_t job = 0,
+                 JobTraffic* traffic = nullptr)
+      : ctl_(ctl), transport_(transport), router_(router), job_(job), traffic_(traffic) {}
   ClusterControl(const ClusterControl&) = delete;
   ClusterControl& operator=(const ClusterControl&) = delete;
 
@@ -149,7 +193,7 @@ class ClusterControl {
     bool valid = false;
   };
 
-  static TrafficCounters SnapshotCounters(const TcpTransport& t);
+  TrafficCounters SnapshotCounters() const;
   void HandleTerminationReport(uint32_t src, ByteReader& r);
   void HandleCheckpointReport(uint32_t src, ByteReader& r);
   void BroadcastRecover(uint32_t victim);
@@ -157,6 +201,8 @@ class ClusterControl {
   Controller* ctl_;
   TcpTransport* transport_;
   DistributedProgressRouter* router_;
+  uint32_t job_;
+  JobTraffic* traffic_;
 
   std::atomic<bool> finished_{false};
   std::atomic<bool> recovery_requested_{false};
@@ -197,6 +243,7 @@ class Cluster {
   // `body(ctl)` runs once per process on its own thread (SPMD): build the dataflow, call
   // ctl.Start(), drive the inputs, and call ctl.Join(). Join participates in the global
   // termination barrier before stopping workers. Returns aggregate traffic statistics.
+  // Implemented as a one-job run on the resident JobServer (src/net/job_server.h).
   using Body = std::function<void(Controller&)>;
   static ClusterStats Run(const ClusterOptions& opts, const Body& body);
 };

@@ -27,6 +27,11 @@ class LinkFaultHook : public WriteFaultHook {
   // transparently re-dial before sending the frame — a reset that lands exactly on a frame
   // boundary, so the receiver sees EOF between frames and no frame is torn or reordered.
   virtual bool ShouldResetBefore(uint64_t frame_index) = 0;
+  // Consulted after frame `frame_index` is staged for the socket. Returning true makes
+  // the transport write the frame a second time, adjacently and with the same sequence
+  // number — a duplicate delivery the receiver must detect and drop. Defaults to off so
+  // hooks written before duplication faults existed stay valid.
+  virtual bool ShouldDuplicateFrame(uint64_t /*frame_index*/) { return false; }
 };
 
 // Receive half of a simplex connection: consumed only by the destination process's

@@ -81,9 +81,10 @@ void DistributedProgressRouter::Emit(std::vector<ProgressUpdate> updates) {
   const bool to_central = strategy_ == ProgressStrategy::kGlobalAcc ||
                           strategy_ == ProgressStrategy::kLocalGlobalAcc;
   if (to_central) {
-    transport_->Send(0, FrameType::kProgressAcc, std::move(payload));
+    transport_->Send(0, FrameType::kProgressAcc, std::move(payload), job_, acct_);
   } else {
-    transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);
+    transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true, job_,
+                               acct_);
   }
 }
 
@@ -99,7 +100,8 @@ void DistributedProgressRouter::EmitFromCentral(std::vector<ProgressUpdate> upda
   }
   AccountScopes(updates);
   std::vector<uint8_t> payload = EncodeUpdates(updates);
-  transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true);
+  transport_->BroadcastFrame(FrameType::kProgress, payload, /*include_self=*/true, job_,
+                             acct_);
 }
 
 void DistributedProgressRouter::OnProgressFrame(uint32_t /*src*/,

@@ -67,6 +67,14 @@ class DistributedProgressRouter final : public ProgressRouter {
         hold_limit_(hold_limit),
         faults_(faults) {}
 
+  // Job-server mode: tag every emitted frame with `job` and credit it to `acct` so the
+  // server can split progress traffic per job. Must be set before Start() exposes the
+  // router to concurrent use.
+  void SetJobAccounting(uint32_t job, JobTraffic* acct) {
+    job_ = job;
+    acct_ = acct;
+  }
+
   // From local workers (and input handles).
   void Broadcast(std::vector<ProgressUpdate> updates) override;
   void OnWorkerIdle() override;
@@ -133,6 +141,8 @@ class DistributedProgressRouter final : public ProgressRouter {
   ProgressStrategy strategy_;
   size_t hold_limit_;
   ProgressFaultHook* faults_;
+  uint32_t job_ = 0;
+  JobTraffic* acct_ = nullptr;
 
   mutable std::mutex local_mu_;
   std::map<Pointstamp, int64_t> local_buf_;

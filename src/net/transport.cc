@@ -125,21 +125,25 @@ void TcpTransport::AcceptorMain() {
 }
 
 void TcpTransport::FrameInto(std::vector<uint8_t>& out, FrameType type,
-                             std::span<const uint8_t> payload) const {
+                             std::span<const uint8_t> payload, uint32_t job) const {
+  // Everything but the sequence number, which the sender thread splices in at write
+  // time (see WriteRun).
   out.clear();
-  out.reserve(payload.size() + 9);
+  out.reserve(payload.size() + kFrameQueuedHeaderBytes);
   ByteWriter w(&out);
   w.WriteU32(static_cast<uint32_t>(payload.size()));
   w.WriteU8(static_cast<uint8_t>(type));
   w.WriteU32(pid_);
+  w.WriteU32(job);
   w.WriteBytes(payload.data(), payload.size());
 }
 
-void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload) {
+void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload,
+                        uint32_t job, JobTraffic* acct) {
   if (dst == pid_) {
     // Self-sends dispatch inline and are not network traffic; byte counters track only
     // what would cross the wire (the quantity Fig. 6c reports).
-    Dispatch(type, pid_, payload, /*count=*/false);
+    Dispatch(type, pid_, job, payload, /*count=*/false);
     return;
   }
   SendLink& link = *send_links_[dst];
@@ -151,8 +155,9 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
       link.free_frames.pop_back();
     }
   }
-  FrameInto(frame.owned, type, payload);
-  const size_t frame_bytes = frame.owned.size();
+  FrameInto(frame.owned, type, payload, job);
+  // The wire adds the 8-byte sequence number the sender thread splices in.
+  const size_t frame_bytes = frame.owned.size() + 8;
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(link.mu);
@@ -171,6 +176,11 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
   }
   frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
   bytes_sent_[static_cast<size_t>(type)].fetch_add(frame_bytes, std::memory_order_relaxed);
+  if (acct != nullptr) {
+    acct->frames_sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+    acct->bytes_sent[static_cast<size_t>(type)].fetch_add(frame_bytes,
+                                                          std::memory_order_relaxed);
+  }
   if (link.metrics != nullptr) {
     link.metrics->send_queue_depth.Record(depth);
   }
@@ -178,20 +188,20 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
 }
 
 void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload,
-                                  bool include_self) {
+                                  bool include_self, uint32_t job, JobTraffic* acct) {
   // Frame once; every remote link enqueues the same immutable buffer instead of
   // re-serializing the header + payload per peer.
   std::shared_ptr<std::vector<uint8_t>> frame;
   for (uint32_t p = 0; p < nprocs_; ++p) {
     if (p == pid_) {
       if (include_self) {
-        Dispatch(type, pid_, payload, /*count=*/false);
+        Dispatch(type, pid_, job, payload, /*count=*/false);
       }
       continue;
     }
     if (frame == nullptr) {
       frame = std::make_shared<std::vector<uint8_t>>();
-      FrameInto(*frame, type, payload);
+      FrameInto(*frame, type, payload, job);
     }
     SendLink& link = *send_links_[p];
     size_t depth;
@@ -204,8 +214,13 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
       depth = link.queue.size();
     }
     frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size(),
+    bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size() + 8,
                                                      std::memory_order_relaxed);
+    if (acct != nullptr) {
+      acct->frames_sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+      acct->bytes_sent[static_cast<size_t>(type)].fetch_add(frame->size() + 8,
+                                                            std::memory_order_relaxed);
+    }
     if (link.metrics != nullptr) {
       link.metrics->send_queue_depth.Record(depth);
     }
@@ -213,24 +228,9 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
   }
 }
 
-void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload,
-                            bool count) {
-  switch (type) {
-    case FrameType::kData:
-      cb_.on_data(src, payload);
-      break;
-    case FrameType::kProgress:
-      cb_.on_progress(src, payload);
-      break;
-    case FrameType::kProgressAcc:
-      cb_.on_progress_acc(src, payload);
-      break;
-    case FrameType::kControl:
-      cb_.on_control(src, payload);
-      break;
-    default:
-      NAIAD_CHECK(false);
-  }
+void TcpTransport::Dispatch(FrameType type, uint32_t src, uint32_t job,
+                            std::span<const uint8_t> payload, bool count) {
+  cb_.on_frame(type, src, job, payload, count);
   // Counted strictly after the callback ran: the cluster checkpoint barrier's in-flight
   // accounting relies on every counted-received frame being fully delivered (e.g. already
   // enqueued in a worker inbox, where the local quiet probe can see it). Inline
@@ -242,15 +242,40 @@ void TcpTransport::Dispatch(FrameType type, uint32_t src, std::span<const uint8_
 }
 
 bool TcpTransport::WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin,
-                            size_t end) {
+                            size_t end, uint64_t base_index, uint64_t* next_seq) {
   if (begin >= end) {
     return true;
   }
   std::vector<iovec> iov;
-  iov.reserve(end - begin);
+  std::vector<uint64_t> seqs;
+  iov.reserve((end - begin) * 3);
+  seqs.reserve(end - begin);  // must not reallocate: iovecs point into it
   for (size_t i = begin; i < end; ++i) {
     std::span<const uint8_t> b = batch[i].bytes();
-    iov.push_back(iovec{.iov_base = const_cast<uint8_t*>(b.data()), .iov_len = b.size()});
+    const uint8_t type = b[4];  // [u32 len][u8 type]...
+    NAIAD_CHECK(type < kNumFrameTypes);
+    seqs.push_back(next_seq[type]++);
+    auto* base = const_cast<uint8_t*>(b.data());
+    iov.push_back(iovec{.iov_base = base, .iov_len = kFrameQueuedHeaderBytes});
+    iov.push_back(iovec{.iov_base = &seqs.back(), .iov_len = 8});
+    if (b.size() > kFrameQueuedHeaderBytes) {
+      iov.push_back(iovec{.iov_base = base + kFrameQueuedHeaderBytes,
+                          .iov_len = b.size() - kFrameQueuedHeaderBytes});
+    }
+    if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire) &&
+        link.faults->ShouldDuplicateFrame(base_index + (i - begin))) {
+      // Duplicate delivery: the same frame, with the SAME sequence number, written again
+      // adjacently. Not counted as sent — the receiver's dedup drops it, so the wire
+      // totals keep sum(sent) == sum(received).
+      const size_t n = iov.size();
+      for (size_t k = b.size() > kFrameQueuedHeaderBytes ? 3 : 2; k > 0; --k) {
+        iov.push_back(iov[n - k]);
+      }
+      if (link.trace != nullptr) {
+        link.trace->Record(obs::TraceKind::kLinkDupFrame, obs::MonotonicNs(), 0,
+                           seqs.back(), static_cast<uint64_t>(type), 0);
+      }
+    }
   }
   return link.socket.WritevAll(iov);
 }
@@ -279,6 +304,10 @@ void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
     link.trace = obs_->tracer().RegisterThread("send->" + std::to_string(dst));
   }
   uint64_t frame_index = 0;
+  // Per-frame-type sequence numbers, spliced into the wire header by WriteRun. They
+  // persist across fault-injected reconnects (same link, same numbering) so the
+  // receiver's dedup state survives connection replacement.
+  uint64_t next_seq[kNumFrameTypes] = {};
   std::vector<OutFrame> batch;
   for (;;) {
     batch.clear();
@@ -307,14 +336,15 @@ void TcpTransport::SenderMain(uint32_t dst, SendLink& link) {
     for (size_t k = 0; k < batch.size() && ok; ++k) {
       if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire) &&
           link.faults->ShouldResetBefore(frame_index + k)) {
-        ok = WriteRun(link, batch, run_start, k);
+        ok = WriteRun(link, batch, run_start, k, frame_index + run_start, next_seq);
         if (ok) {
           ResetLink(dst, link);
           run_start = k;
         }
       }
     }
-    if (!ok || !WriteRun(link, batch, run_start, batch.size())) {
+    if (!ok ||
+        !WriteRun(link, batch, run_start, batch.size(), frame_index + run_start, next_seq)) {
       // The peer went away: during shutdown that's expected; otherwise it is the
       // sender-side symptom of a peer death, reported for coordinated recovery.
       NotifyPeerDown(dst);
@@ -343,6 +373,10 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
   bool first_connection = true;
   uint64_t frame_index = 0;        // frames dispatched on this link, across connections
   uint64_t replacement_index = 0;  // replacement connections adopted so far
+  // Next expected per-type sequence number; persists across replacement connections
+  // (the sender's numbering does too). A frame numbered below its type's expectation
+  // was already dispatched — a duplicate delivery — and is dropped here.
+  uint64_t expected_seq[kNumFrameTypes] = {};
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(link.mu);
@@ -380,7 +414,7 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
     }
     first_connection = false;
     for (;;) {
-      uint8_t header[9];
+      uint8_t header[kFrameWireHeaderBytes];
       const ReadResult hres = link.socket.ReadExact(header);
       if (!hres.ok()) {
         if (hres.status == ReadResult::Status::kEof) {
@@ -416,6 +450,8 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       const uint32_t len = hr.ReadU32();
       const auto type = static_cast<FrameType>(hr.ReadU8());
       const uint32_t frame_src = hr.ReadU32();
+      const uint32_t job = hr.ReadU32();
+      const uint64_t seq = hr.ReadU64();
       NAIAD_CHECK(static_cast<uint8_t>(type) < kNumFrameTypes);
       NAIAD_CHECK(frame_src == src);
       std::vector<uint8_t> payload(len);
@@ -436,6 +472,22 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
           break;
         }
       }
+      uint64_t& expect = expected_seq[static_cast<size_t>(type)];
+      if (seq != expect) {
+        // FIFO links cannot lose or reorder frames, so a mismatch can only be a
+        // duplicate delivery of something already dispatched. Drop it: re-delivering
+        // would violate the exactly-once contract the progress protocol (§3.3) and the
+        // barrier traffic accounting both assume.
+        NAIAD_CHECK(seq < expect)
+            << "sequence gap on link " << src << ": got " << seq << " expected " << expect;
+        recv_dup_frames_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) {
+          trace->Record(obs::TraceKind::kLinkDupFrame, obs::MonotonicNs(), 0, seq,
+                        static_cast<uint64_t>(type), 1);
+        }
+        continue;
+      }
+      ++expect;
       if (link.faults != nullptr && !shutdown_.load(std::memory_order_acquire)) {
         // Bounded delayed dispatch between frame decode and worker-queue enqueue. The
         // receiver thread itself sleeps, so later frames on this link cannot overtake:
@@ -449,7 +501,7 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
       if (shutdown_.load(std::memory_order_acquire)) {
         return;
       }
-      Dispatch(type, frame_src, payload);
+      Dispatch(type, frame_src, job, payload);
     }
     if (shutdown_.load(std::memory_order_acquire)) {
       return;

@@ -11,8 +11,12 @@
 // without violating the FIFO contract: the receiver drains the old connection to EOF
 // (TCP delivers all bytes written before the close), then resumes on the replacement.
 //
-// Frames: [u32 length][u8 type][u32 src_process][payload]. Self-addressed sends dispatch
-// directly (no socket to self), preserving the "broadcast includes self" semantics.
+// Frames: [u32 length][u8 type][u32 src_process][u32 job][u64 seq][payload]. The job id
+// routes the frame to a registered dataflow on a multi-tenant job server (0 is the
+// single-job/legacy id); `seq` is a per-link per-frame-type sequence number the sender
+// thread assigns at write time and the receiver uses to drop duplicate deliveries.
+// Self-addressed sends dispatch directly (no socket to self), preserving the "broadcast
+// includes self" semantics.
 
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
@@ -39,17 +43,36 @@ enum class FrameType : uint8_t {
   kData = 0,         // record bundle, handled by Controller::ReceiveRemoteBundle
   kProgress = 1,     // progress updates for direct application
   kProgressAcc = 2,  // progress updates addressed to the central accumulator
-  kControl = 3,      // cluster control (termination barrier)
+  kControl = 3,      // cluster control (termination barrier, job lifecycle)
 };
 inline constexpr int kNumFrameTypes = 4;
+
+// Send() frames everything but `seq` into the queued buffer (13 bytes of header); the
+// sender thread splices the 8-byte sequence number in at write time, so a broadcast's
+// shared buffer stays immutable while every link still numbers its own frames.
+inline constexpr size_t kFrameQueuedHeaderBytes = 13;
+inline constexpr size_t kFrameWireHeaderBytes = 21;
+
+// Per-job wire-traffic accounting (multi-tenant job server). The transport credits the
+// sending job's counters at enqueue time, exactly where the global counters are bumped;
+// the receiving side's demux credits frames_received after delivery. Indexed by
+// static_cast<size_t>(FrameType).
+struct JobTraffic {
+  std::atomic<uint64_t> frames_sent[kNumFrameTypes] = {};
+  std::atomic<uint64_t> bytes_sent[kNumFrameTypes] = {};
+  std::atomic<uint64_t> frames_received[kNumFrameTypes] = {};
+};
 
 class TcpTransport final : public DataTransport {
  public:
   struct Callbacks {
-    std::function<void(uint32_t src, std::span<const uint8_t>)> on_data;
-    std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress;
-    std::function<void(uint32_t src, std::span<const uint8_t>)> on_progress_acc;
-    std::function<void(uint32_t src, std::span<const uint8_t>)> on_control;
+    // Single dispatch arm for every frame type. `job` is the frame header's job id (0
+    // for single-job/legacy senders); `wire` distinguishes frames that crossed a socket
+    // from inline self-dispatches (the latter are never counted as received — see
+    // Dispatch). Runs on receive threads, or inline on the sender for self-sends.
+    std::function<void(FrameType type, uint32_t src, uint32_t job,
+                       std::span<const uint8_t> payload, bool wire)>
+        on_frame;
     // Failure detection (optional). Fired from a sender or receiver thread when a link
     // dies outside Shutdown(): write failure, boundary EOF/ECONNRESET, or a torn frame.
     // Installing this makes every link death a suspected peer death, so it is
@@ -65,9 +88,8 @@ class TcpTransport final : public DataTransport {
   // Optional fault plan; must be set before Start() and outlive the transport.
   void SetFaultPlan(ClusterFaultPlan* plan) { fault_plan_ = plan; }
 
-  // Optional observability runtime (the owning Controller's); must be set before Start()
-  // and outlive the transport. Supplies per-link metrics blocks and sender/receiver
-  // thread trace rings.
+  // Optional observability runtime; must be set before Start() and outlive the
+  // transport. Supplies per-link metrics blocks and sender/receiver thread trace rings.
   void SetObs(obs::Obs* obs) { obs_ = obs; }
 
   // Restart generation announced in the dial handshake and required of inbound dials;
@@ -85,14 +107,20 @@ class TcpTransport final : public DataTransport {
   // the I/O threads. Callbacks fire on receive threads (or inline for self-sends).
   void Start(const std::vector<uint16_t>& ports, Callbacks cb);
 
-  // DataTransport: ship a record bundle.
+  // DataTransport: ship a record bundle (single-job/legacy path, job 0). The job server
+  // gives each job its own adapter that calls Send with the job's id and accounting.
   void SendBundle(uint32_t dst_process, std::vector<uint8_t> frame) override {
     Send(dst_process, FrameType::kData, std::move(frame));
   }
 
-  void Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload);
-  // Sends to every process; when include_self, the matching callback runs inline.
-  void BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload, bool include_self);
+  // `acct`, when set, receives the same sent-frame/sent-byte credit as the global
+  // counters (i.e. only frames actually enqueued; dropped-at-close and self-sends are
+  // not counted).
+  void Send(uint32_t dst, FrameType type, std::vector<uint8_t> payload, uint32_t job = 0,
+            JobTraffic* acct = nullptr);
+  // Sends to every process; when include_self, the callback runs inline.
+  void BroadcastFrame(FrameType type, const std::vector<uint8_t>& payload,
+                      bool include_self, uint32_t job = 0, JobTraffic* acct = nullptr);
 
   void Shutdown();
   // Recovery-path teardown: additionally shuts down (shutdown(2), not close) every send
@@ -122,6 +150,12 @@ class TcpTransport final : public DataTransport {
   // boundary — recoverable: the receiver waits for a replacement connection.
   uint64_t recv_boundary_resets() const {
     return recv_boundary_resets_.load(std::memory_order_relaxed);
+  }
+  // Frames a receiver dropped because their per-type sequence number was already
+  // dispatched on that link — duplicate deliveries (fault-injected), never re-delivered
+  // and never counted in frames_received.
+  uint64_t recv_dup_frames() const {
+    return recv_dup_frames_.load(std::memory_order_relaxed);
   }
 
   uint32_t process_id() const { return pid_; }
@@ -177,17 +211,21 @@ class TcpTransport final : public DataTransport {
   // `count` distinguishes wire deliveries (receiver threads) from inline self-dispatches:
   // only the former increment frames_received_, keeping cluster-wide sum(sent) ==
   // sum(received) once the wire is drained (the checkpoint barrier's in-flight check).
-  void Dispatch(FrameType type, uint32_t src, std::span<const uint8_t> payload,
-                bool count = true);
+  void Dispatch(FrameType type, uint32_t src, uint32_t job,
+                std::span<const uint8_t> payload, bool count = true);
   void AcceptorMain();
   void SenderMain(uint32_t dst, SendLink& link);
   void ReceiverMain(uint32_t src, RecvLink& link);
   // Dials `dst` and writes the identifying handshake; invalid Socket on failure.
   Socket DialPeer(uint32_t dst);
   void FrameInto(std::vector<uint8_t>& out, FrameType type,
-                 std::span<const uint8_t> payload) const;
-  // Writes frames [begin, end) of `batch` as one gathered write (iovec batch).
-  bool WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin, size_t end);
+                 std::span<const uint8_t> payload, uint32_t job) const;
+  // Writes frames [begin, end) of `batch` as one gathered write (iovec batch), assigning
+  // each frame its per-type sequence number from `next_seq` and emitting a fault-injected
+  // duplicate (same bytes, same seq, adjacent) where the link hook asks for one.
+  // `base_index` is the link-lifetime index of batch[begin].
+  bool WriteRun(SendLink& link, std::span<const OutFrame> batch, size_t begin, size_t end,
+                uint64_t base_index, uint64_t* next_seq);
   // Closes `link`'s connection and transparently re-dials (fault-injected reset).
   void ResetLink(uint32_t dst, SendLink& link);
   // Fires cb_.on_peer_down(peer) if installed and not shutting down.
@@ -215,6 +253,7 @@ class TcpTransport final : public DataTransport {
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> recv_torn_frames_{0};
   std::atomic<uint64_t> recv_boundary_resets_{0};
+  std::atomic<uint64_t> recv_dup_frames_{0};
   std::atomic<uint64_t> bytes_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_sent_[kNumFrameTypes] = {};
   std::atomic<uint64_t> frames_received_[kNumFrameTypes] = {};

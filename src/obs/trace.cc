@@ -38,6 +38,10 @@ KindDesc Describe(TraceKind k) {
       return {"cluster_checkpoint", true};
     case TraceKind::kClusterRecover:
       return {"cluster_recover", true};
+    case TraceKind::kLinkDupFrame:
+      return {"link_dup_frame", false};
+    case TraceKind::kStrayFrame:
+      return {"stray_frame", false};
   }
   return {"?", false};
 }
@@ -94,6 +98,17 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
       std::snprintf(buf, sizeof(buf), "{\"restored_epoch\": %lld, \"generation\": %llu}",
                     static_cast<long long>(e.a0),
                     static_cast<unsigned long long>(e.a1));
+      break;
+    case TraceKind::kLinkDupFrame:
+      std::snprintf(buf, sizeof(buf), "{\"seq\": %llu, \"type\": %llu, \"side\": \"%s\"}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1), e.a2 != 0 ? "recv" : "send");
+      break;
+    case TraceKind::kStrayFrame:
+      std::snprintf(buf, sizeof(buf), "{\"job\": %llu, \"src\": %llu, \"type\": %llu}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1),
+                    static_cast<unsigned long long>(e.a2));
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{}");

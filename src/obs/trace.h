@@ -50,6 +50,8 @@ enum class TraceKind : uint8_t {
                          // dur=quiet-point barrier + publish span
   kClusterRecover,       // a0=restored epoch (UINT64_MAX = fresh start), a1=generation;
                          // dur=teardown + restore + re-dial span
+  kLinkDupFrame,         // a0=sequence number, a1=frame type, a2=1 on the receive side
+  kStrayFrame,           // a0=job id, a1=src process, a2=frame type
 };
 
 struct TraceEvent {

@@ -63,6 +63,11 @@ FaultProfile FaultProfile::FromSeed(uint64_t seed) {
   // every sweep seed sees systematically fast and slow links side by side.
   p.link_dispatch_skew = true;
   p.dispatch_delay_budget_us = 20000 + rng.Below(80000);
+  // Duplicate delivery (appended after the earlier draws so those keep their values
+  // across seeds): consulted once per frame, so the probability stays low; the per-link
+  // cap keeps even hostile seeds from flooding the wire with copies.
+  p.duplicate_prob = 0.005 + 0.03 * rng.NextDouble();
+  p.max_dups_per_link = 2 + static_cast<uint32_t>(rng.Below(6));
   return p;
 }
 
@@ -89,6 +94,17 @@ bool LinkFaults::ShouldResetBefore(uint64_t /*frame_index*/) {
   }
   if (rng_.NextDouble() < profile_.reset_prob) {
     ++resets_;
+    return true;
+  }
+  return false;
+}
+
+bool LinkFaults::ShouldDuplicateFrame(uint64_t /*frame_index*/) {
+  if (profile_.duplicate_prob <= 0 || dups_ >= profile_.max_dups_per_link) {
+    return false;
+  }
+  if (rng_.NextDouble() < profile_.duplicate_prob) {
+    ++dups_;
     return true;
   }
   return false;
@@ -226,6 +242,15 @@ uint64_t FaultPlan::total_resets() const {
   uint64_t total = 0;
   for (const auto& [key, link] : links_) {
     total += link->resets_injected();
+  }
+  return total;
+}
+
+uint64_t FaultPlan::total_duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, link] : links_) {
+    total += link->dups_injected();
   }
   return total;
 }

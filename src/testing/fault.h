@@ -70,6 +70,10 @@ struct FaultProfile {
   // sleeps, so no frame overtakes another on its own link.
   bool link_dispatch_skew = false;
   uint64_t dispatch_delay_budget_us = 50000;  // per-link cap on total injected delay
+  // Duplicate delivery (per frame on a link): write the frame twice, same sequence
+  // number, relying on receiver-side dedup to drop the copy.
+  double duplicate_prob = 0.0;
+  uint32_t max_dups_per_link = 4;
 
   // A mixed-intensity profile with every fault class enabled, derived from the seed so a
   // sweep covers light and heavy injection. Used by the seeded test sweeps.
@@ -84,13 +88,16 @@ class LinkFaults final : public LinkFaultHook {
 
   WriteStep Next(size_t remaining) override;
   bool ShouldResetBefore(uint64_t frame_index) override;
+  bool ShouldDuplicateFrame(uint64_t frame_index) override;
 
   uint64_t resets_injected() const { return resets_; }
+  uint64_t dups_injected() const { return dups_; }
 
  private:
   Rng rng_;
   FaultProfile profile_;
   uint64_t resets_ = 0;
+  uint64_t dups_ = 0;
 };
 
 // Read + dispatch/adoption-delay faults for the receive half of one simplex connection.
@@ -142,8 +149,9 @@ class FaultPlan final : public ClusterFaultPlan {
 
   uint64_t seed() const { return seed_; }
   const FaultProfile& profile() const { return profile_; }
-  // Resets actually injected across all links so far (for test assertions).
+  // Resets / duplicates actually injected across all links so far (for test assertions).
   uint64_t total_resets() const;
+  uint64_t total_duplicates() const;
 
  private:
   uint64_t seed_;

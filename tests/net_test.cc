@@ -60,15 +60,16 @@ TEST(TransportTest, MeshDeliversFramesFifoPerPair) {
   for (uint32_t p = 0; p < kProcs; ++p) {
     starters.emplace_back([&, p] {
       TcpTransport::Callbacks cb;
-      cb.on_data = [&, p](uint32_t src, std::span<const uint8_t> payload) {
+      cb.on_frame = [&, p](FrameType type, uint32_t src, uint32_t /*job*/,
+                           std::span<const uint8_t> payload, bool /*wire*/) {
+        if (type != FrameType::kData) {
+          return;
+        }
         ByteReader r(payload);
         uint32_t seq = r.ReadU32();
         std::lock_guard<std::mutex> lock(mu);
         received[p].emplace_back(src, seq);
       };
-      cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
-      cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
-      cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
       transports[p]->Start(ports, std::move(cb));
     });
   }
@@ -131,10 +132,7 @@ TEST(TransportTest, DroppedFramesOnClosedLinkAreNotCounted) {
   for (uint32_t p = 0; p < kProcs; ++p) {
     starters.emplace_back([&, p] {
       TcpTransport::Callbacks cb;
-      cb.on_data = [](uint32_t, std::span<const uint8_t>) {};
-      cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
-      cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
-      cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+      cb.on_frame = [](FrameType, uint32_t, uint32_t, std::span<const uint8_t>, bool) {};
       transports[p]->Start(ports, std::move(cb));
     });
   }
@@ -269,14 +267,15 @@ class RecvHarness {
     const uint16_t stub_port = stub_.Open();
     port_ = my_port;
     TcpTransport::Callbacks cb;
-    cb.on_data = [this](uint32_t src, std::span<const uint8_t> payload) {
+    cb.on_frame = [this](FrameType type, uint32_t src, uint32_t /*job*/,
+                         std::span<const uint8_t> payload, bool /*wire*/) {
+      if (type != FrameType::kData) {
+        return;
+      }
       EXPECT_EQ(src, 0u);
       std::lock_guard<std::mutex> lock(mu_);
       got_.emplace_back(payload.begin(), payload.end());
     };
-    cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
-    cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
-    cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
     transport_.Start({stub_port, my_port}, std::move(cb));
   }
   ~RecvHarness() { transport_.Shutdown(); }
@@ -292,12 +291,18 @@ class RecvHarness {
     return s;
   }
 
-  // A fully framed kData wire frame from process 0.
-  static std::vector<uint8_t> Frame(std::span<const uint8_t> payload) {
+  // A fully framed kData wire frame from process 0 (job 0). `seq` is the per-link
+  // per-type sequence number the receiver's dedup tracks: it only advances on fully
+  // delivered frames, so a test that tears a frame must re-send it with the *same* seq
+  // on the replacement connection (exactly what a real sender's numbering produces —
+  // torn writes kill the link, they never skip a number).
+  static std::vector<uint8_t> Frame(std::span<const uint8_t> payload, uint64_t seq = 0) {
     ByteWriter w;
     w.WriteU32(static_cast<uint32_t>(payload.size()));
     w.WriteU8(static_cast<uint8_t>(FrameType::kData));
     w.WriteU32(0);
+    w.WriteU32(0);  // job
+    w.WriteU64(seq);
     w.WriteBytes(payload.data(), payload.size());
     return std::move(w.buffer());
   }
@@ -338,7 +343,7 @@ bool WaitFor(const std::function<bool()>& pred) {
   return pred();
 }
 
-// EOF inside the 9-byte header is a torn frame: counted, never dispatched, and the link
+// EOF inside the 21-byte header is a torn frame: counted, never dispatched, and the link
 // survives to serve a replacement connection.
 TEST(TransportRecvTest, TornReadMidHeaderIsLinkErrorNotFrame) {
   RecvHarness h;
@@ -347,7 +352,7 @@ TEST(TransportRecvTest, TornReadMidHeaderIsLinkErrorNotFrame) {
     Socket peer = h.Dial();
     const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
     ASSERT_TRUE(peer.WriteAll(std::span<const uint8_t>(frame).first(4)));
-  }  // close with 4 of 9 header bytes delivered
+  }  // close with 4 of 21 header bytes delivered
   EXPECT_TRUE(WaitFor([&] { return h.transport().recv_torn_frames() == 1; }));
   EXPECT_EQ(h.Received().size(), 0u);  // the partial frame was abandoned, not dispatched
   EXPECT_EQ(h.transport().recv_boundary_resets(), 0u);
@@ -369,7 +374,8 @@ TEST(TransportRecvTest, TornReadMidBodyIsLinkErrorNotShortFrame) {
   {
     Socket peer = h.Dial();
     const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
-    ASSERT_TRUE(peer.WriteAll(std::span<const uint8_t>(frame).first(9 + 40)));
+    ASSERT_TRUE(peer.WriteAll(
+        std::span<const uint8_t>(frame).first(kFrameWireHeaderBytes + 40)));
   }  // close with the header and 40 of 100 body bytes delivered
   EXPECT_TRUE(WaitFor([&] { return h.transport().recv_torn_frames() == 1; }));
   EXPECT_EQ(h.Received().size(), 0u);
@@ -390,19 +396,21 @@ TEST(TransportRecvTest, ReconnectAdoptionWaitsForPartialFrameInFlight) {
   const std::vector<uint8_t> p1 = {1, 1, 1, 1, 1, 1, 1, 1};
   const std::vector<uint8_t> p2 = {2, 2, 2};
   const std::vector<uint8_t> p3 = {3, 3, 3, 3, 3};
-  const std::vector<uint8_t> f1 = RecvHarness::Frame(p1);
+  const std::vector<uint8_t> f1 = RecvHarness::Frame(p1, /*seq=*/0);
   Socket a = h.Dial();
   // Frame 1 goes out torn across the window: header plus half the body now...
-  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(f1).first(9 + p1.size() / 2)));
+  ASSERT_TRUE(a.WriteAll(
+      std::span<const uint8_t>(f1).first(kFrameWireHeaderBytes + p1.size() / 2)));
   // ...the replacement dials in and is queued while frame 1 is still in flight...
   Socket b = h.Dial();
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   // ...then the old connection finishes frame 1, ships frame 2, and closes on the
   // boundary, exactly like a sender-side ResetLink.
-  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(f1).subspan(9 + p1.size() / 2)));
-  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p2)));
+  ASSERT_TRUE(a.WriteAll(
+      std::span<const uint8_t>(f1).subspan(kFrameWireHeaderBytes + p1.size() / 2)));
+  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p2, /*seq=*/1)));
   a.Close();
-  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p3)));
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p3, /*seq=*/2)));
 
   ASSERT_TRUE(h.WaitForCount(3));
   const auto got = h.Received();
@@ -421,7 +429,7 @@ TEST(TransportRecvTest, BoundaryResetIsClassifiedAndRecovered) {
   const std::vector<uint8_t> p1 = {7, 7, 7};
   const std::vector<uint8_t> p2 = {8, 8, 8, 8};
   Socket a = h.Dial();
-  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p1)));
+  ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p1, /*seq=*/0)));
   // Frame 1 must be fully consumed before the reset so it lands on the boundary (an RST
   // discards any bytes still buffered in the receiver's kernel socket).
   ASSERT_TRUE(h.WaitForCount(1));
@@ -432,9 +440,50 @@ TEST(TransportRecvTest, BoundaryResetIsClassifiedAndRecovered) {
   EXPECT_EQ(h.transport().recv_torn_frames(), 0u);
 
   Socket b = h.Dial();
-  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p2)));
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p2, /*seq=*/1)));
   ASSERT_TRUE(h.WaitForCount(2));
   EXPECT_EQ(h.Received()[1], p2);
+}
+
+// A frame delivered twice with the same per-type sequence number — the shape the
+// duplicate-delivery fault class injects — is dispatched exactly once: the second copy
+// is dropped, counted in recv_dup_frames, and excluded from frames_received, so the
+// termination barrier's traffic accounting still converges.
+TEST(TransportRecvTest, DuplicateSequenceNumberIsDroppedNotRedelivered) {
+  RecvHarness h;
+  const std::vector<uint8_t> p1 = {5, 6, 7};
+  const std::vector<uint8_t> p2 = {8, 9};
+  Socket peer = h.Dial();
+  const std::vector<uint8_t> f1 = RecvHarness::Frame(p1, /*seq=*/0);
+  ASSERT_TRUE(peer.WriteAll(f1));
+  ASSERT_TRUE(peer.WriteAll(f1));  // duplicate delivery: same bytes, same seq
+  ASSERT_TRUE(peer.WriteAll(RecvHarness::Frame(p2, /*seq=*/1)));
+  ASSERT_TRUE(h.WaitForCount(2));
+  const auto got = h.Received();
+  EXPECT_EQ(got[0], p1);
+  EXPECT_EQ(got[1], p2);
+  EXPECT_EQ(h.transport().recv_dup_frames(), 1u);
+  EXPECT_EQ(h.transport().frames_received(FrameType::kData), 2u);
+}
+
+// Dedup state must survive connection replacement: a duplicate re-delivered on the
+// *replacement* connection (the realistic reset-replay shape) is still recognized,
+// because both sides number frames per link, not per connection.
+TEST(TransportRecvTest, DedupStateSurvivesReplacementConnection) {
+  RecvHarness h;
+  const std::vector<uint8_t> p1 = {1, 2};
+  const std::vector<uint8_t> p2 = {3, 4, 5};
+  {
+    Socket a = h.Dial();
+    ASSERT_TRUE(a.WriteAll(RecvHarness::Frame(p1, /*seq=*/0)));
+  }  // boundary close after frame 1 delivers
+  ASSERT_TRUE(h.WaitForCount(1));
+  Socket b = h.Dial();
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p1, /*seq=*/0)));  // replayed duplicate
+  ASSERT_TRUE(b.WriteAll(RecvHarness::Frame(p2, /*seq=*/1)));
+  ASSERT_TRUE(h.WaitForCount(2));
+  EXPECT_EQ(h.Received()[1], p2);
+  EXPECT_EQ(h.transport().recv_dup_frames(), 1u);
 }
 
 // Deterministic receive-side schedule storm at the transport layer: torn reads (1-3 byte
@@ -485,7 +534,7 @@ TEST(TransportRecvTest, ReadFaultStormPreservesFifoAndContent) {
     for (size_t j = 0; j < p.size(); ++j) {
       p[j] = static_cast<uint8_t>(i ^ (j * 3));
     }
-    const std::vector<uint8_t> frame = RecvHarness::Frame(p);
+    const std::vector<uint8_t> frame = RecvHarness::Frame(p, /*seq=*/i);
     wire.insert(wire.end(), frame.begin(), frame.end());
     payloads.push_back(std::move(p));
   }
@@ -510,7 +559,8 @@ TEST(TransportRecvTest, ShutdownWithPendingReplacementAndBlockedReadReturns) {
   std::vector<uint8_t> payload(100, 0xab);
   const std::vector<uint8_t> frame = RecvHarness::Frame(payload);
   // Park the receiver mid-body on connection A...
-  ASSERT_TRUE(a.WriteAll(std::span<const uint8_t>(frame).first(9 + 40)));
+  ASSERT_TRUE(a.WriteAll(
+      std::span<const uint8_t>(frame).first(kFrameWireHeaderBytes + 40)));
   // ...queue a replacement whose dialer stays silent forever...
   Socket b = h.Dial();
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -530,10 +580,7 @@ TEST(TransportTest, ShutdownUnblocksStalledHandshake) {
   TcpTransport t(0, 1);  // no peers, but the acceptor loop still runs
   const uint16_t port = t.Listen();
   TcpTransport::Callbacks cb;
-  cb.on_data = [](uint32_t, std::span<const uint8_t>) {};
-  cb.on_progress = [](uint32_t, std::span<const uint8_t>) {};
-  cb.on_progress_acc = [](uint32_t, std::span<const uint8_t>) {};
-  cb.on_control = [](uint32_t, std::span<const uint8_t>) {};
+  cb.on_frame = [](FrameType, uint32_t, uint32_t, std::span<const uint8_t>, bool) {};
   t.Start({port}, std::move(cb));
   Socket silent = Socket::ConnectLocal(port);
   ASSERT_TRUE(silent.valid());
