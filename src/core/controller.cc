@@ -238,4 +238,28 @@ void Controller::ReceiveRemoteBundle(std::span<const uint8_t> frame) {
   workers_[gw % cfg_.workers_per_process]->EnqueueExternal(std::move(item));
 }
 
+void Controller::DiscardRemoteBundle(std::span<const uint8_t> frame) {
+  // A replayed frame can only reach the dedup path after this process has applied the
+  // replaying peer's seed-state — which happens strictly after Start() — so there is no
+  // early-frame stash to consider here.
+  NAIAD_CHECK(accepting_.load(std::memory_order_acquire));
+  ByteReader r(frame);
+  const ConnectorId ch = r.ReadU32();
+  const uint32_t dst_vertex = r.ReadU32();
+  Timestamp t;
+  NAIAD_CHECK(t.Decode(r));
+  NAIAD_CHECK(ch < graph_.num_connectors());
+  const ConnectorDef& def = graph_.connector(ch);
+  NAIAD_CHECK(def.decode_batch != nullptr);
+  VertexBase* target = LocalVertex(def.dst, dst_vertex);
+  NAIAD_CHECK(target != nullptr);
+  std::unique_ptr<WorkItemBase> item = def.decode_batch(r, t, target);
+  NAIAD_CHECK(item != nullptr && r.ok());
+  // Retire instead of deliver: the records are already part of this process's state (the
+  // original delivery happened before the failure), so only the progress ledger needs the
+  // −count the dropped redelivery would have produced.
+  progress_router_->Broadcast(
+      {ProgressUpdate{Pointstamp{t, Location::Connector(ch)}, -item->count()}});
+}
+
 }  // namespace naiad

@@ -82,6 +82,15 @@ class Controller {
   // Freezes the graph, instantiates this process's vertices, seeds the initial pointstamps
   // (§2.3: one per input stage at epoch 0), and launches worker threads.
   void Start();
+  // Start with worker execution gated: the pause flag is armed before the workers spawn,
+  // so they park before running anything. Selective recovery boots every rebuilt process
+  // this way while the cluster exchanges its progress-seed contributions — an empty
+  // tracker would otherwise fire restored notifications the moment a worker looked at it.
+  // Resume() releases the workers once all seeds are applied.
+  void StartPaused() {
+    pause_.store(true, std::memory_order_release);
+    Start();
+  }
   // Waits until the computation has drained (all inputs closed, no active pointstamps),
   // runs the quiesce hook if any (distributed termination barrier), then stops workers.
   // A cancelled controller skips the hook: a torn-down job must not wait on a barrier
@@ -118,6 +127,23 @@ class Controller {
   // Called by the network receive path with a frame produced by RouteBundle's remote arm.
   void ReceiveRemoteBundle(std::span<const uint8_t> frame);
 
+  // Decodes a RouteBundle frame far enough to learn its record count and retires its
+  // pointstamp (−count broadcast through the progress router) WITHOUT delivering the
+  // records. Selective recovery uses this for replayed frames a survivor's transport
+  // dedup dropped: their +count was broadcast by the replaying sender, so someone must
+  // account the retirement the delivery would have produced.
+  void DiscardRemoteBundle(std::span<const uint8_t> frame);
+
+  // When set (before Start), RouteBundle's remote arm hands each outbound frame to the
+  // tap instead of calling transport->SendBundle directly. The tap owns the ordering
+  // contract of selective recovery's outbound logs: it must append the frame to the
+  // per-destination log and enqueue it on the transport under one lock, so log order
+  // always equals the link's data sequence numbering.
+  using SendTap = std::function<void(uint32_t dst_process, ConnectorId ch,
+                                     const Timestamp& t, int64_t count,
+                                     std::vector<uint8_t>&& frame)>;
+  void SetSendTap(SendTap tap) { send_tap_ = std::move(tap); }
+
   // The observability runtime — always constructed (cheap no-op objects when disabled),
   // so workers and the transport can hold unconditional pointers into it.
   obs::Obs& obs() const { return *obs_; }
@@ -127,8 +153,30 @@ class Controller {
   void SetDataTransport(DataTransport* transport) { transport_ = transport; }
   void SetQuiesceHook(std::function<void()> hook) { quiesce_hook_ = std::move(hook); }
 
-  void RegisterInputStage(StageId s) { input_stages_.push_back(s); }
+  void RegisterInputStage(StageId s) {
+    input_stages_.push_back(s);
+    local_input_state_[s] = LocalInputState{};
+  }
   const std::vector<StageId>& input_stages() const { return input_stages_; }
+
+  // This process's OWN producer position for an input stage, maintained by its
+  // InputHandle. Checkpointing must read the position here rather than from the
+  // tracker's active pointstamps: the tracker holds the cluster-wide view, and at a
+  // selective-recovery stall a dead peer's open-input pointstamp (at an older epoch) is
+  // still active — indistinguishable from ours by location alone. Driven only by the
+  // feed thread, which is also the thread that checkpoints.
+  struct LocalInputState {
+    uint64_t next_epoch = 0;
+    bool closed = false;
+  };
+  void NoteLocalInputEpoch(StageId s, uint64_t next_epoch, bool closed) {
+    local_input_state_[s] = LocalInputState{next_epoch, closed};
+  }
+  LocalInputState local_input_state(StageId s) const {
+    auto it = local_input_state_.find(s);
+    NAIAD_CHECK(it != local_input_state_.end()) << "not an input stage: " << s;
+    return it->second;
+  }
 
   // Enumerates this process's vertices (stable order). Valid after Start().
   std::vector<std::pair<VertexAddress, VertexBase*>> LocalVertices() const;
@@ -174,10 +222,12 @@ class Controller {
   DataTransport* transport_ = nullptr;
   std::function<void()> quiesce_hook_;
   std::function<void(Controller&, ProgressBuffer&)> start_override_;
+  SendTap send_tap_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unordered_map<uint64_t, std::unique_ptr<VertexBase>> vertices_;
   std::vector<StageId> input_stages_;
+  std::unordered_map<StageId, LocalInputState> local_input_state_;
   std::vector<std::shared_ptr<void>> holders_;
 
   bool started_ = false;

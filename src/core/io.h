@@ -61,6 +61,7 @@ class InputHandle {
       tr.Control(obs::TraceKind::kEpochOpen, stage_, next_epoch_ + 1, 0);
     }
     ++next_epoch_;
+    ctl_->NoteLocalInputEpoch(stage_, next_epoch_, closed_);
   }
 
   void OnNext() { OnNext(std::vector<T>{}); }
@@ -93,12 +94,14 @@ class InputHandle {
     NAIAD_CHECK(next_epoch_ == 0 && !closed_);
     next_epoch_ = next_epoch;
     closed_ = closed;
+    ctl_->NoteLocalInputEpoch(stage_, next_epoch_, closed_);
   }
 
   // §2.1: "close" the input — no more epochs; lets the computation drain and terminate.
   void OnCompleted() {
     NAIAD_CHECK(!closed_);
     closed_ = true;
+    ctl_->NoteLocalInputEpoch(stage_, next_epoch_, closed_);
     progress_.Add(Pointstamp{Timestamp(next_epoch_), Location::Stage(stage_)}, -1);
     ctl_->progress_router().Broadcast(progress_.Take());
     ctl_->event().NotifyAll();

@@ -92,6 +92,7 @@ void Controller::RouteBundle(ConnectorId ch, uint32_t dst_vertex, const Timestam
     NAIAD_CHECK(def.encode_batch != nullptr)
         << "connector " << ch << " carries a non-serializable type across processes";
     NAIAD_CHECK(transport_ != nullptr);
+    const int64_t count = static_cast<int64_t>(recs.size());
     ByteWriter w;
     w.WriteU32(ch);
     w.WriteU32(dst_vertex);
@@ -99,7 +100,14 @@ void Controller::RouteBundle(ConnectorId ch, uint32_t dst_vertex, const Timestam
     def.encode_batch(w, &recs);
     data_bytes_sent.fetch_add(w.size(), std::memory_order_relaxed);
     data_bundles_sent.fetch_add(1, std::memory_order_relaxed);
-    transport_->SendBundle(proc, std::move(w.buffer()));
+    if (send_tap_) {
+      // The tap (selective recovery's outbound logger) appends the frame to its durable
+      // per-destination log and forwards it to the transport under one lock, so the log's
+      // record order equals the link's sequence numbering.
+      send_tap_(proc, ch, t, count, std::move(w.buffer()));
+    } else {
+      transport_->SendBundle(proc, std::move(w.buffer()));
+    }
   }
 }
 

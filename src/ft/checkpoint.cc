@@ -20,24 +20,19 @@ std::vector<uint8_t> CheckpointProcess(Controller& ctl) {
   ByteWriter w;
   w.WriteU32(kMagic);
 
-  // (a) Open input epochs, recovered from the active pointstamps at input locations.
+  // (a) Open input epochs, from the controller's local producer positions. These must NOT
+  // be recovered from the tracker's active pointstamps: the tracker is cluster-wide, and
+  // at a selective-recovery stall the dead victim's open-input pointstamp (stuck at an
+  // older epoch) is still active at the same location — scanning actives would record the
+  // victim's position as ours and make the survivor re-feed epochs it already ran. At a
+  // coordinated quiet point the two views agree, so this is strictly more precise.
   const std::vector<StageId>& inputs = ctl.input_stages();
   w.WriteU32(static_cast<uint32_t>(inputs.size()));
-  std::map<StageId, uint64_t> open_epochs;
-  for (const auto& [p, count] : ctl.tracker().ActiveSnapshot()) {
-    if (count > 0 && p.loc.is_stage()) {
-      for (StageId s : inputs) {
-        if (p.loc.id == s) {
-          open_epochs[s] = p.time.epoch;
-        }
-      }
-    }
-  }
   for (StageId s : inputs) {
+    const Controller::LocalInputState in = ctl.local_input_state(s);
     w.WriteU32(s);
-    auto it = open_epochs.find(s);
-    w.WriteU8(it != open_epochs.end() ? 1 : 0);
-    w.WriteU64(it != open_epochs.end() ? it->second : 0);
+    w.WriteU8(in.closed ? 0 : 1);
+    w.WriteU64(in.closed ? 0 : in.next_epoch);
   }
 
   // (b) Vertex state, length-prefixed so a vertex that writes nothing stays cheap.
@@ -171,6 +166,127 @@ std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> im
     }
   });
   return inputs;
+}
+
+// ---- Selective recovery (Falkirk Wheel) restore variants -----------------------------
+//
+// Under selective recovery every process rebuilds its tracker from scratch after a
+// failure, and the cluster-wide state is reassembled by SUMMING per-process seed
+// contributions exchanged over the control plane (kCtlSeedState) — processes restart
+// from different logical times (survivors at their stall point, the replacement at the
+// last durable checkpoint), so the symmetric everyone-seeds-the-same-view rule of
+// RestoreProcess cannot apply. Each process therefore contributes only what it OWNS:
+// +1 per open input it hosts (at its own epoch position) and +1 per pending
+// notification of its local vertices. The caller broadcasts `seeds` to every process
+// (including itself) before releasing the paused workers.
+
+std::vector<InputEpochs> PeekImageInputs(const std::vector<uint8_t>& image) {
+  ByteReader r(image);
+  NAIAD_CHECK(r.ReadU32() == kMagic) << "not a checkpoint image";
+  std::vector<InputEpochs> inputs(r.ReadU32());
+  for (InputEpochs& in : inputs) {
+    in.stage = r.ReadU32();
+    const bool open = r.ReadU8() != 0;
+    const uint64_t epoch = r.ReadU64();
+    in.next_epoch = open ? epoch : 0;
+    in.closed = !open;
+  }
+  NAIAD_CHECK(r.ok());
+  return inputs;
+}
+
+std::vector<InputEpochs> RestoreProcessSelective(Controller& ctl,
+                                                 std::vector<uint8_t> image,
+                                                 std::vector<ProgressUpdate>* seeds) {
+  NAIAD_CHECK(!ctl.started() && seeds != nullptr);
+  seeds->clear();
+  std::vector<InputEpochs> inputs = PeekImageInputs(image);
+
+  ctl.SetStartOverride([image = std::move(image), seeds](Controller& c,
+                                                         ProgressBuffer& updates) {
+    (void)updates;  // nothing is seeded locally; the seed exchange applies everything
+    const uint64_t span_t0 = obs::MonotonicNs();
+    ByteReader r(image);
+    NAIAD_CHECK(r.ReadU32() == kMagic);
+    const uint32_t n_inputs = r.ReadU32();
+    for (uint32_t i = 0; i < n_inputs; ++i) {
+      const StageId s = r.ReadU32();
+      const bool open = r.ReadU8() != 0;
+      const uint64_t epoch = r.ReadU64();
+      if (open) {
+        // This process's own producer handle only: +1, not +processes.
+        seeds->push_back(
+            ProgressUpdate{Pointstamp{Timestamp(epoch), Location::Stage(s)}, +1});
+      }
+    }
+    const uint32_t n_vertices = r.ReadU32();
+    for (uint32_t i = 0; i < n_vertices; ++i) {
+      const StageId s = r.ReadU32();
+      const uint32_t index = r.ReadU32();
+      const uint32_t len = r.ReadU32();
+      NAIAD_CHECK(r.ok() && r.remaining() >= len);
+      VertexBase* v = c.LocalVertex(s, index);
+      NAIAD_CHECK(v != nullptr) << "checkpoint does not match graph: stage " << s;
+      ByteReader body(
+          std::span<const uint8_t>(image.data() + (image.size() - r.remaining()), len));
+      NAIAD_CHECK(v->Restore(body));
+      for (uint32_t skip = 0; skip < len; ++skip) {
+        r.ReadU8();
+      }
+    }
+    const uint32_t n_pending = r.ReadU32();
+    for (uint32_t i = 0; i < n_pending; ++i) {
+      const StageId s = r.ReadU32();
+      const uint32_t index = r.ReadU32();
+      Timestamp t;
+      NAIAD_CHECK(t.Decode(r));
+      VertexBase* v = c.LocalVertex(s, index);
+      NAIAD_CHECK(v != nullptr);
+      v->worker().AddNotificationRequest(v, t);
+      seeds->push_back(ProgressUpdate{Pointstamp{t, Location::Stage(s)}, +1});
+    }
+    NAIAD_CHECK(r.ok());
+    if (c.obs().tracer().enabled()) {
+      c.obs().tracer().ControlSpan(obs::TraceKind::kRestore, span_t0, obs::MonotonicNs(),
+                                   image.size(), 0, 0);
+    }
+  });
+  return inputs;
+}
+
+void FreshStartSelective(Controller& ctl, std::vector<ProgressUpdate>* seeds) {
+  NAIAD_CHECK(!ctl.started() && seeds != nullptr);
+  seeds->clear();
+  // A replacement with no durable checkpoint boots from logical time zero, but still
+  // under the per-process contribution rule: its own epoch-0 producer handles and the
+  // initial notifications of its LOCAL vertices (normal Start seeds the cluster-wide
+  // counts locally on every process; here each owner contributes its share instead).
+  ctl.SetStartOverride([seeds](Controller& c, ProgressBuffer& updates) {
+    (void)updates;
+    const LogicalGraph& g = c.graph();
+    for (StageId s = 0; s < g.num_stages(); ++s) {
+      const StageDef& def = g.stage(s);
+      if (def.is_input) {
+        seeds->push_back(
+            ProgressUpdate{Pointstamp{Timestamp(0), Location::Stage(s)}, +1});
+        continue;
+      }
+      if (!def.factory || def.initial_notifications.empty()) {
+        continue;
+      }
+      for (uint32_t v = 0; v < def.parallelism; ++v) {
+        if (!c.VertexIsLocal(v)) {
+          continue;
+        }
+        VertexBase* vert = c.LocalVertex(s, v);
+        NAIAD_CHECK(vert != nullptr);
+        for (const Timestamp& t : def.initial_notifications) {
+          vert->worker().AddNotificationRequest(vert, t);
+          seeds->push_back(ProgressUpdate{Pointstamp{t, Location::Stage(s)}, +1});
+        }
+      }
+    }
+  });
 }
 
 }  // namespace naiad

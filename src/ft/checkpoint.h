@@ -53,6 +53,28 @@ struct InputEpochs {
 std::vector<InputEpochs> RestoreProcess(Controller& ctl, std::vector<uint8_t> image,
                                         std::vector<ProgressUpdate>* restored_pending = nullptr);
 
+// Selective-recovery restore: like RestoreProcess, but NOTHING is seeded into the local
+// tracker at Start. Instead `seeds` (filled during Start; must outlive it) receives this
+// process's own contributions — +1 per open input it hosts at its saved epoch, +1 per
+// pending notification — which the caller broadcasts to every process (kCtlSeedState,
+// include-self) while workers are still paused (Controller::StartPaused). Summing all
+// processes' contributions reassembles the cluster-wide tracker state even though
+// survivors and the replacement restart from different logical times.
+std::vector<InputEpochs> RestoreProcessSelective(Controller& ctl,
+                                                 std::vector<uint8_t> image,
+                                                 std::vector<ProgressUpdate>* seeds);
+
+// The no-durable-checkpoint variant for a replacement process booting from logical time
+// zero under the same per-process contribution rule (epoch-0 inputs + local initial
+// notifications).
+void FreshStartSelective(Controller& ctl, std::vector<ProgressUpdate>* seeds);
+
+// Parses only the input-position header of a checkpoint image (no controller needed).
+// Selective recovery uses this on the survivor's in-memory stall image to detect closed
+// inputs — a kill that lands during the termination barrier — and fall back to a
+// coordinated restart, since a closed input cannot be reopened mid-replay.
+std::vector<InputEpochs> PeekImageInputs(const std::vector<uint8_t>& image);
+
 }  // namespace naiad
 
 #endif  // SRC_FT_CHECKPOINT_H_

@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -18,6 +19,7 @@
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/stopwatch.h"
+#include "src/ft/log_recovery.h"
 #include "src/ft/recovery.h"
 #include "src/net/progress_router.h"
 #include "src/ser/bytes.h"
@@ -43,13 +45,19 @@ constexpr uint8_t kStPort = 1;           // a = listen port
 constexpr uint8_t kStStarting = 2;       // a = epoch, b = generation
 constexpr uint8_t kStCheckpointing = 3;  // a = epoch, b = generation
 constexpr uint8_t kStCommitted = 4;      // a = epoch
-constexpr uint8_t kStRecovering = 5;     // a = candidate generation
-constexpr uint8_t kStDone = 6;           // a = recoveries, b = committed epochs
+constexpr uint8_t kStRecovering = 5;     // a = candidate generation, b = 1 when the
+                                         // selective preconditions held, c = last
+                                         // rebase epoch (the log watermark)
+constexpr uint8_t kStDone = 6;           // a = recoveries, b = committed epochs,
+                                         // c = replayed frames deduped
+constexpr uint8_t kStRecoverStats = 7;   // a = survivor stall ns, b = downtime ns,
+                                         // c = 1 for a selective rebuild
 
 // supervisor -> member
 constexpr uint8_t kCtPort = 1;     // a = slot, b = port (one record per slot)
-constexpr uint8_t kCtRecover = 2;  // a = generation being aborted
-constexpr uint8_t kCtGo = 3;       // a = new generation, b = restore epoch (or none)
+constexpr uint8_t kCtRecover = 2;  // a = generation being aborted, b = victim slot
+constexpr uint8_t kCtGo = 3;       // a = new generation, b = restore epoch (or none),
+                                   // c = 1 to recover selectively (0 = coordinated)
 constexpr uint8_t kCtExit = 4;
 
 bool WriteRecord(int fd, const Record& rec) {
@@ -116,17 +124,26 @@ class MemberRunner {
   int Run(const ClusterAppFactory& factory);
 
  private:
-  void SendStatus(uint8_t tag, uint64_t a, uint64_t b) {
-    NAIAD_CHECK(WriteRecord(status_fd_, Record{tag, a, b, 0}));
+  // How Build assembles the next generation's state (RecoveryMode picks the non-default
+  // kinds; kCoordinated also covers the initial build and the done-member rejoin).
+  enum class BuildKind : uint8_t {
+    kCoordinated,           // RestoreProcess from own image (or fresh start)
+    kSelectiveSurvivor,     // restore the pre-teardown in-memory stall image
+    kSelectiveReplacement,  // RestoreProcessSelective from disk / FreshStartSelective
+  };
+
+  void SendStatus(uint8_t tag, uint64_t a, uint64_t b, uint64_t c = 0) {
+    NAIAD_CHECK(WriteRecord(status_fd_, Record{tag, a, b, c}));
   }
 
   void ControlReaderMain();
   // Blocks for a GO record; false means EXIT arrived (or the supervisor died) instead.
-  bool WaitGo(uint32_t* gen, uint64_t* restore);
+  bool WaitGo(uint32_t* gen, uint64_t* restore, uint64_t* mode);
   // After DONE: 0 = EXIT (normal), 1 = GO (a restart raced our completion; rejoin it).
-  int WaitExitOrGo(uint32_t* gen, uint64_t* restore);
+  int WaitExitOrGo(uint32_t* gen, uint64_t* restore, uint64_t* mode);
 
-  void Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch);
+  void Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch,
+             BuildKind kind = BuildKind::kCoordinated);
   void Teardown();
   // Runs epochs [start_epoch, total) plus the termination barrier; false = recovery.
   bool RunEpochs(uint64_t start_epoch);
@@ -134,7 +151,22 @@ class MemberRunner {
     return (cfg_.checkpoint_every != 0 && (e + 1) % cfg_.checkpoint_every == 0) ||
            e + 1 == cfg_.total_epochs;
   }
-  void NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch);
+  // Called with the live (pre-Teardown) stack when a recovery begins under kSelective:
+  // runs the survivor stall barrier, captures the in-memory image, and validates the
+  // outbound log toward the victim. False = fall back to a coordinated restart.
+  bool PrepareSelective();
+  // Log GC, split around the commit broadcast. RebaseLogsAtCut runs inside the barrier's
+  // global quiet point (workers paused cluster-wide): truncates every outbound log and
+  // snapshots the receive watermarks. RetireRebasedImage runs only after the commit:
+  // unlinks the image the new one superseded.
+  void RebaseLogsAtCut(uint64_t epoch);
+  void RetireRebasedImage(uint64_t committed_epoch);
+  // Survivor-stall accounting: the stall ends when this member has re-passed the last
+  // epoch it had fed before the failure (for a coordinated restart that includes
+  // re-executing every epoch since the manifest; for selective it is just the pause).
+  void ResolveStallIfRepassed(uint64_t epoch_passed);
+  void ExportLogCounters();
+  void NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch, uint64_t mode);
   int Cleanup(int rc) {
     if (reader_.joinable()) {
       reader_.join();
@@ -155,9 +187,29 @@ class MemberRunner {
   std::unique_ptr<DistributedProgressRouter> router_;
   std::unique_ptr<ClusterControl> control_;
   std::unique_ptr<ClusterApp> app_;
+  std::unique_ptr<OutboundLogSet> outlogs_;  // kSelective config only
   uint32_t gen_ = 0;
   uint64_t recoveries_ = 0;
   uint64_t total_commits_ = 0;
+
+  // Selective-recovery state carried across Teardown into the next Build.
+  std::vector<uint64_t> recv_rebase_;  // per-peer data frames received at last rebase
+  uint64_t last_rebase_epoch_ = kNoManifestEpoch;  // the log watermark (R)
+  uint64_t pending_unlink_epoch_ = kNoManifestEpoch;  // image superseded at the cut
+  std::vector<uint8_t> mem_image_;           // survivor stall image (PrepareSelective)
+  std::vector<OutboundRecord> resend_;       // validated log tail toward the victim
+  uint32_t victim_ = kNoVictim;
+  uint64_t replay_expect_ = 0;     // victim data frames received since the watermark
+  uint64_t synth_next_ = 0;        // next regenerated-duplicate seq expected
+  uint64_t replay_dropped_ = 0;    // regenerated frames deduped, lifetime total
+  bool selective_gen_ = false;     // this generation was built selectively
+  uint64_t last_fed_epoch_ = 0;    // highest epoch fed in this generation
+  bool stall_pending_ = false;     // stall stopwatch armed across a recovery
+  uint64_t stall_t0_ = 0;
+  uint64_t stall_target_ = 0;      // epoch to re-pass before the stall ends
+  uint64_t stall_ns_ = 0;
+  uint64_t downtime_ns_ = 0;
+  uint64_t last_mode_ = 0;
 
   std::thread reader_;
   std::mutex sup_mu_;
@@ -167,6 +219,7 @@ class MemberRunner {
   bool have_go_ = false;
   uint32_t go_gen_ = 0;
   uint64_t go_restore_ = kNoManifestEpoch;
+  uint64_t go_mode_ = 0;
   bool exit_requested_ = false;
 };
 
@@ -177,14 +230,16 @@ void MemberRunner::ControlReaderMain() {
     switch (rec.tag) {
       case kCtRecover:
         // Generation-guarded: a hint for an already-abandoned generation must not abort
-        // the one we just rebuilt.
+        // the one we just rebuilt. The hint names the victim so a selective stall can
+        // target the right peer even when the in-band failure report never arrived.
         if (current_control_ != nullptr && current_gen_ == rec.a) {
-          current_control_->RequestRecovery();
+          current_control_->RequestRecovery(static_cast<uint32_t>(rec.b));
         }
         break;
       case kCtGo:
         go_gen_ = static_cast<uint32_t>(rec.a);
         go_restore_ = rec.b;
+        go_mode_ = rec.c;
         have_go_ = true;
         sup_cv_.notify_all();
         break;
@@ -202,7 +257,7 @@ void MemberRunner::ControlReaderMain() {
   sup_cv_.notify_all();
 }
 
-bool MemberRunner::WaitGo(uint32_t* gen, uint64_t* restore) {
+bool MemberRunner::WaitGo(uint32_t* gen, uint64_t* restore, uint64_t* mode) {
   std::unique_lock<std::mutex> lock(sup_mu_);
   sup_cv_.wait(lock, [&] { return have_go_ || exit_requested_; });
   if (!have_go_) {
@@ -211,22 +266,25 @@ bool MemberRunner::WaitGo(uint32_t* gen, uint64_t* restore) {
   have_go_ = false;
   *gen = go_gen_;
   *restore = go_restore_;
+  *mode = go_mode_;
   return true;
 }
 
-int MemberRunner::WaitExitOrGo(uint32_t* gen, uint64_t* restore) {
+int MemberRunner::WaitExitOrGo(uint32_t* gen, uint64_t* restore, uint64_t* mode) {
   std::unique_lock<std::mutex> lock(sup_mu_);
   sup_cv_.wait(lock, [&] { return have_go_ || exit_requested_; });
   if (have_go_) {  // records arrive in order, so a pending GO precedes any EXIT
     have_go_ = false;
     *gen = go_gen_;
     *restore = go_restore_;
+    *mode = go_mode_;
     return 1;
   }
   return 0;
 }
 
-void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch) {
+void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_epoch,
+                         BuildKind kind) {
   gen_ = gen;
   Config c;
   c.process_id = slot_;
@@ -254,10 +312,61 @@ void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_e
   ctl_->SetProgressRouter(router_.get());
   ctl_->SetDataTransport(transport_.get());
   control_ = std::make_unique<ClusterControl>(ctl_.get(), transport_.get(), router_.get());
+  if (cfg_.recovery_mode == RecoveryMode::kSelective) {
+    // Every generation opens fresh (truncated) outbound logs: their window is anchored
+    // at this generation's start point, and record index k toward a peer equals the
+    // link's post-rebase data sequence k because the tap holds the destination lock
+    // across {append, enqueue}.
+    outlogs_ = std::make_unique<OutboundLogSet>(cfg_.ckpt_dir, slot_, cfg_.processes);
+    OutboundLogSet* logs = outlogs_.get();
+    TcpTransport* tr = transport_.get();
+    ctl_->SetSendTap([logs, tr](uint32_t dst, ConnectorId ch, const Timestamp& t,
+                                int64_t count, std::vector<uint8_t>&& frame) {
+      logs->RecordAndSend(*tr, dst, ch, t, count, std::move(frame));
+    });
+    control_->SetSelectiveMode(true);
+    recv_rebase_.assign(cfg_.processes, 0);
+    last_rebase_epoch_ = restore_epoch;
+  }
   app_ = (*factory_)(*ctl_);
 
-  std::vector<ProgressUpdate> pending;
-  if (restore_epoch != kNoManifestEpoch) {
+  const bool sel_survivor = kind == BuildKind::kSelectiveSurvivor;
+  const bool sel_replacement = kind == BuildKind::kSelectiveReplacement;
+  selective_gen_ = sel_survivor || sel_replacement;
+
+  std::vector<ProgressUpdate> pending;  // coordinated restore path
+  std::vector<ProgressUpdate> seeds;    // selective path (filled during StartPaused)
+  if (sel_survivor) {
+    // Survivor: resume from the in-memory stall image — state is KEPT, nothing replays
+    // locally. The image's input positions say where this member's feed resumes.
+    NAIAD_CHECK(!mem_image_.empty());
+    const std::vector<InputEpochs> inputs =
+        RestoreProcessSelective(*ctl_, std::move(mem_image_), &seeds);
+    mem_image_.clear();
+    app_->RestoreInputs(inputs);
+    uint64_t start = 0;
+    for (const InputEpochs& in : inputs) {
+      if (!in.closed) {
+        start = std::max(start, in.next_epoch);
+      }
+    }
+    *start_epoch = start;
+  } else if (sel_replacement) {
+    if (restore_epoch != kNoManifestEpoch) {
+      CheckpointReadResult res =
+          ReadCheckpointFileEx(ClusterImagePath(cfg_.ckpt_dir, slot_, restore_epoch));
+      NAIAD_CHECK(res.ok()) << "manifest-committed image unreadable: epoch "
+                            << restore_epoch << " status "
+                            << static_cast<int>(res.status);
+      const std::vector<InputEpochs> inputs =
+          RestoreProcessSelective(*ctl_, std::move(res.image), &seeds);
+      app_->RestoreInputs(inputs);
+      *start_epoch = restore_epoch + 1;
+    } else {
+      FreshStartSelective(*ctl_, &seeds);
+      *start_epoch = 0;
+    }
+  } else if (restore_epoch != kNoManifestEpoch) {
     CheckpointReadResult res =
         ReadCheckpointFileEx(ClusterImagePath(cfg_.ckpt_dir, slot_, restore_epoch));
     // The manifest commit rule guarantees this image was durable before the epoch became
@@ -300,12 +409,68 @@ void MemberRunner::Build(uint32_t gen, uint64_t restore_epoch, uint64_t* start_e
     }
   };
   cb.on_peer_down = [control](uint32_t peer) { control->ReportFailure(peer); };
+  if (sel_survivor) {
+    // The replacement deterministically regenerates the data frames the victim already
+    // sent us since the watermark; our state already reflects them. Seeding the receive
+    // expectation routes those first replay_expect_ frames through the dedup path,
+    // where each is discarded with a compensating -count so the progress charge of the
+    // replacement's RouteBundle nets out (DiscardRemoteBundle).
+    transport_->SeedRecvExpectation(victim_, FrameType::kData, replay_expect_);
+    synth_next_ = 0;
+    cb.on_dup_frame = [this, ctl](FrameType type, uint32_t src, uint32_t /*job*/,
+                                  uint64_t seq, std::span<const uint8_t> p) -> bool {
+      if (type != FrameType::kData || src != victim_ || seq != synth_next_ ||
+          synth_next_ >= replay_expect_) {
+        return false;  // not a replayed frame; normal dup accounting applies
+      }
+      ++synth_next_;
+      ++replay_dropped_;
+      ctl->DiscardRemoteBundle(p);
+      return true;  // count as received: the replacement's send side was counted
+    };
+  }
   transport_->Start(ports_, std::move(cb));
-  ctl_->Start();
-  // Restored pending-notification +1s travel the ordinary broadcast channel, after Start
-  // and strictly before any input is fed (see RestoreProcess's contract).
-  if (!pending.empty()) {
-    router_->Broadcast(std::move(pending));
+
+  if (selective_gen_) {
+    // Workers park before any seed is applied; the cluster-wide tracker state is then
+    // reassembled by summing every process's own contributions (survivors at their
+    // stall cut, the replacement at the watermark), plus one +count per cached log
+    // record about to be re-sent — the replacement re-processes exactly those. Nobody
+    // resumes until every contribution is globally applied (the ack/release barrier),
+    // so no transient negative can be observed as a frontier.
+    const uint64_t seed_t0 = obs::MonotonicNs();
+    ctl_->StartPaused();
+    if (sel_survivor) {
+      for (const OutboundRecord& rec : resend_) {
+        seeds.push_back(ProgressUpdate{
+            Pointstamp{rec.time, Location::Connector(rec.ch)}, rec.count});
+      }
+    }
+    NAIAD_CHECK(control_->RunSeedExchange(seeds))
+        << "selective seed exchange failed (p" << slot_ << " gen " << gen << ")";
+    const uint64_t resend_n = resend_.size();
+    if (sel_survivor) {
+      // Re-send the validated log tail so it is re-logged: record k of the new window
+      // rides link sequence k again, keeping the invariant for a later rebase. No
+      // progress updates accompany these sends — the seeds above carried their +counts.
+      // ResendTail appends the whole tail and makes it durable with a single Sync
+      // before the first frame is sent, instead of one fsync per frame.
+      outlogs_->ResendTail(*transport_, victim_, std::move(resend_));
+    }
+    ctl_->Resume();
+    if (ctl_->obs().tracer().enabled()) {
+      ctl_->obs().tracer().ControlSpan(obs::TraceKind::kSelectiveSeed, seed_t0,
+                                       obs::MonotonicNs(), seeds.size(), resend_n,
+                                       sel_replacement ? 1 : 0);
+    }
+    resend_.clear();
+  } else {
+    ctl_->Start();
+    // Restored pending-notification +1s travel the ordinary broadcast channel, after
+    // Start and strictly before any input is fed (see RestoreProcess's contract).
+    if (!pending.empty()) {
+      router_->Broadcast(std::move(pending));
+    }
   }
 }
 
@@ -316,11 +481,75 @@ void MemberRunner::Teardown() {
   }
   transport_->Abort();  // unblocks senders mid-write; joins all transport threads
   ctl_->Stop();
+  ExportLogCounters();  // workers are joined: the tap can no longer run
   app_.reset();
   control_.reset();
   router_.reset();
+  outlogs_.reset();
   transport_.reset();  // releases the listen socket so Build can rebind the same port
   ctl_.reset();
+}
+
+void MemberRunner::ExportLogCounters() {
+  if (!outlogs_ || !ctl_) {
+    return;
+  }
+  if (obs::ProcessMetrics* pm = ctl_->obs().metrics().process()) {
+    pm->log_records_logged.fetch_add(outlogs_->records_logged(),
+                                     std::memory_order_relaxed);
+    pm->log_bytes_logged.fetch_add(outlogs_->bytes_logged(), std::memory_order_relaxed);
+    pm->log_rebases.fetch_add(outlogs_->rebases(), std::memory_order_relaxed);
+  }
+}
+
+void MemberRunner::RebaseLogsAtCut(uint64_t epoch) {
+  if (!outlogs_) {
+    return;
+  }
+  // Runs inside the checkpoint barrier's at_cut hook: every worker in the cluster is
+  // paused at the verified quiet point and no peer has resumed. Both halves of the
+  // watermark MUST be taken here. Truncating later would race our own workers' sends
+  // back into a window the new images already cover; snapshotting the receive counters
+  // later would race a faster peer's next-epoch frames under the watermark — its
+  // replacement would then replay those frames and the dedup, seeded with a
+  // too-high expectation, would deliver them a second time (a TSan-exposed double
+  // count before this hook existed).
+  NAIAD_CHECK(outlogs_->RebaseAll());
+  for (uint32_t q = 0; q < cfg_.processes; ++q) {
+    // No self link: loopback routing never touches the wire counters.
+    recv_rebase_[q] =
+        q == slot_ ? 0 : transport_->frames_received_from(q, FrameType::kData);
+  }
+  pending_unlink_epoch_ = last_rebase_epoch_;
+  // Recorded before the commit broadcast on purpose: if the barrier fails after the cut,
+  // the logs are already truncated and only anchor here — R must say so. PrepareSelective
+  // then sees R disagree with the durable manifest and falls back to the coordinated
+  // path instead of replaying from a window that no longer reaches the manifest.
+  last_rebase_epoch_ = epoch;
+}
+
+void MemberRunner::RetireRebasedImage(uint64_t committed_epoch) {
+  if (!outlogs_) {
+    return;
+  }
+  const uint64_t prev = pending_unlink_epoch_;
+  pending_unlink_epoch_ = kNoManifestEpoch;
+  if (prev != kNoManifestEpoch && prev != committed_epoch) {
+    // Only after the commit broadcast: the watermark has durably passed, so this slot's
+    // previous image can no longer be adopted. Unlinking at the cut would be premature —
+    // a barrier that dies between cut and commit still restores from the OLD manifest,
+    // which needs the old image on disk.
+    ::unlink(ClusterImagePath(cfg_.ckpt_dir, slot_, prev).c_str());
+  }
+}
+
+void MemberRunner::ResolveStallIfRepassed(uint64_t epoch_passed) {
+  if (!stall_pending_ || epoch_passed < stall_target_) {
+    return;
+  }
+  stall_pending_ = false;
+  stall_ns_ = obs::MonotonicNs() - stall_t0_;
+  SendStatus(kStRecoverStats, stall_ns_, downtime_ns_, last_mode_);
 }
 
 bool MemberRunner::RunEpochs(uint64_t start_epoch) {
@@ -331,29 +560,70 @@ bool MemberRunner::RunEpochs(uint64_t start_epoch) {
   auto write_manifest = [this](uint64_t epoch) {
     return WriteClusterManifest(cfg_.ckpt_dir, epoch, cfg_.processes);
   };
+  auto rebase_at_cut = [this](uint64_t epoch) { RebaseLogsAtCut(epoch); };
   const bool dbg = ::getenv("NAIAD_CLUSTER_DEBUG") != nullptr;
   for (uint64_t e = start_epoch; e < cfg_.total_epochs; ++e) {
     SendStatus(kStStarting, e, gen_);
     app_->FeedEpoch(e);
+    last_fed_epoch_ = e;
     if (dbg) std::fprintf(stderr, "[p%u g%u] fed epoch %llu\n", slot_, gen_, (unsigned long long)e);
-    ctl_->tracker().WaitFor(
-        [&] { return app_->EpochPassed(e) || control_->recovery_requested(); });
+    ctl_->tracker().WaitFor([&] {
+      // The stall stopwatch stops the moment the re-pass target clears the frontier,
+      // not when this member's own current epoch later passes: a selective survivor
+      // waits here several epochs ahead of the replacement's catch-up, and resolving
+      // only on its own epoch would overcharge the stall by most of an epoch.
+      if (stall_pending_ && app_->EpochPassed(stall_target_)) {
+        ResolveStallIfRepassed(stall_target_);
+      }
+      return app_->EpochPassed(e) || control_->recovery_requested();
+    });
     if (dbg) std::fprintf(stderr, "[p%u g%u] epoch %llu passed (rec=%d)\n", slot_, gen_, (unsigned long long)e, (int)control_->recovery_requested());
     if (control_->recovery_requested()) {
       return false;
     }
-    if (ShouldCheckpoint(e)) {
+    ResolveStallIfRepassed(e);
+    // A selectively-built generation skips the per-epoch barriers: its members resume
+    // from DIFFERENT epochs, so their ShouldCheckpoint schedules would disagree and the
+    // collective barrier would hang. One final checkpoint below re-establishes the
+    // durable cut (and the byte-identical final images the sweep compares).
+    if (!selective_gen_ && ShouldCheckpoint(e)) {
       SendStatus(kStCheckpointing, e, gen_);
       if (dbg) std::fprintf(stderr, "[p%u g%u] entering ckpt barrier e=%llu\n", slot_, gen_, (unsigned long long)e);
-      if (!control_->RunCheckpointBarrier(e, write_image, write_manifest)) {
+      if (!control_->RunCheckpointBarrier(e, write_image, write_manifest, rebase_at_cut)) {
         NAIAD_CHECK(control_->recovery_requested()) << "cluster checkpoint failed outright";
         return false;
       }
       ++total_commits_;
+      RetireRebasedImage(e);
       SendStatus(kStCommitted, e, gen_);
       if (dbg) std::fprintf(stderr, "[p%u g%u] ckpt committed e=%llu\n", slot_, gen_, (unsigned long long)e);
     }
   }
+  if (selective_gen_) {
+    const uint64_t last = cfg_.total_epochs - 1;
+    // A survivor whose inputs were already past the last epoch skipped the loop above;
+    // it still owes the cluster the final collective checkpoint, and its own probe only
+    // passes once the replacement's replay catches up.
+    ctl_->tracker().WaitFor([&] {
+      if (stall_pending_ && app_->EpochPassed(stall_target_)) {
+        ResolveStallIfRepassed(stall_target_);
+      }
+      return app_->EpochPassed(last) || control_->recovery_requested();
+    });
+    if (control_->recovery_requested()) {
+      return false;
+    }
+    ResolveStallIfRepassed(last);
+    SendStatus(kStCheckpointing, last, gen_);
+    if (!control_->RunCheckpointBarrier(last, write_image, write_manifest, rebase_at_cut)) {
+      NAIAD_CHECK(control_->recovery_requested()) << "cluster checkpoint failed outright";
+      return false;
+    }
+    ++total_commits_;
+    RetireRebasedImage(last);
+    SendStatus(kStCommitted, last, gen_);
+  }
+  ResolveStallIfRepassed(cfg_.total_epochs - 1);  // rejoin path: loop may not have run
   app_->CloseInputs();
   if (dbg) std::fprintf(stderr, "[p%u g%u] inputs closed; termination barrier\n", slot_, gen_);
   if (!control_->RunTerminationBarrier()) {
@@ -363,7 +633,58 @@ bool MemberRunner::RunEpochs(uint64_t start_epoch) {
   return true;
 }
 
-void MemberRunner::NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch) {
+bool MemberRunner::PrepareSelective() {
+  // Every fallback return goes through `abort`: the decision is local, but a peer that
+  // reached its stall barrier is waiting for OUR report — the kCtlStallAbort broadcast
+  // releases it immediately instead of letting it burn the verdict timeout (e.g. a kill
+  // inside the final checkpoint barrier can leave one survivor committed — fast local
+  // fallback — while the other's barrier aborted and it still has epochs to protect).
+  const auto abort = [this] {
+    control_->AbortSelectiveStall();
+    return false;
+  };
+  if (::getenv("NAIAD_SELECTIVE_FALLBACK_INJECT") != nullptr) {
+    return abort();  // test hook: force the coordinated fallback path
+  }
+  if (selective_gen_) {
+    // Second failure inside a selectively-built generation: the survivors' log windows
+    // are anchored at their stall cut, not at the manifest, so a new replacement
+    // restoring from the manifest could not be caught up from them.
+    return abort();
+  }
+  if (last_rebase_epoch_ != kNoManifestEpoch &&
+      last_rebase_epoch_ + 1 >= cfg_.total_epochs) {
+    // The final checkpoint already committed; nothing is left to replay selectively and
+    // the rejoin semantics of the coordinated path handle the termination race.
+    return abort();
+  }
+  victim_ = control_->recovery_victim();
+  if (victim_ == kNoVictim || victim_ == slot_) {
+    return abort();  // nobody attributed the failure; only a coordinated restart is safe
+  }
+  if (!control_->RunStallBarrier(victim_)) {
+    return abort();  // couldn't establish a clean survivor cut; workers were resumed
+  }
+  // Workers are parked at the stall cut. Everything the victim sent us since the
+  // watermark is reflected in the state we are about to capture; its regenerated
+  // replays must therefore be deduped up to this count.
+  replay_expect_ =
+      transport_->frames_received_from(victim_, FrameType::kData) - recv_rebase_[victim_];
+  mem_image_ = CheckpointProcess(*ctl_);
+  for (const InputEpochs& in : PeekImageInputs(mem_image_)) {
+    if (in.closed) {
+      // The kill landed during termination: a closed input cannot be reopened for the
+      // replacement's replay window, so roll everyone back together instead.
+      return abort();
+    }
+  }
+  if (!outlogs_->ValidateAndLoad(victim_, &resend_)) {
+    return abort();  // torn or incomplete log: cannot prove what the victim received
+  }
+  return true;
+}
+
+void MemberRunner::NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch, uint64_t mode) {
   ++recoveries_;
   ctl_->obs().tracer().ControlSpan(
       obs::TraceKind::kClusterRecover, t0_ns, obs::MonotonicNs(),
@@ -371,6 +692,9 @@ void MemberRunner::NoteRecovered(uint64_t t0_ns, uint64_t restore_epoch) {
       restore_epoch == kNoManifestEpoch ? 0 : 1);
   if (obs::ProcessMetrics* pm = ctl_->obs().metrics().process()) {
     pm->cluster_recoveries.fetch_add(1, std::memory_order_relaxed);
+    if (mode == 1) {
+      pm->selective_recoveries.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -396,56 +720,110 @@ int MemberRunner::Run(const ClusterAppFactory& factory) {
 
   uint64_t start_epoch = 0;
   if (replacement_) {
-    // A replacement is born into a coordinated restart: rendezvous, then build at GO.
+    // A replacement is born into a restart: rendezvous, then build at GO. The GO's mode
+    // says whether the survivors kept their state (selective) or everyone rolls back.
     const uint64_t t0 = obs::MonotonicNs();
-    SendStatus(kStRecovering, 0, 0);
+    SendStatus(kStRecovering, 0, 0, kNoManifestEpoch);
     uint32_t gen = 0;
     uint64_t restore = kNoManifestEpoch;
-    if (!WaitGo(&gen, &restore)) {
+    uint64_t mode = 0;
+    if (!WaitGo(&gen, &restore, &mode)) {
       return Cleanup(0);  // the run finished without us; nothing to rejoin
     }
-    Build(gen, restore, &start_epoch);
-    NoteRecovered(t0, restore);
+    Build(gen, restore, &start_epoch,
+          mode == 1 ? BuildKind::kSelectiveReplacement : BuildKind::kCoordinated);
+    NoteRecovered(t0, restore, mode);
+    downtime_ns_ = obs::MonotonicNs() - t0;
+    last_mode_ = mode;
+    SendStatus(kStRecoverStats, 0, downtime_ns_, mode);
   } else {
     Build(0, kNoManifestEpoch, &start_epoch);
   }
 
   for (;;) {
     if (RunEpochs(start_epoch)) {
-      SendStatus(kStDone, recoveries_, total_commits_);
+      SendStatus(kStDone, recoveries_, total_commits_, replay_dropped_);
       uint32_t gen = 0;
       uint64_t restore = kNoManifestEpoch;
-      if (WaitExitOrGo(&gen, &restore) == 0) {
+      uint64_t mode = 0;
+      if (WaitExitOrGo(&gen, &restore, &mode) == 0) {
         break;
       }
       // A restart was ordered after we finished (the kill raced the termination verdict):
-      // rejoin it. The restored epoch is final, so the re-run is just the barriers.
+      // rejoin it. A finished member is never ordered into a selective restart (the
+      // supervisor's rule requires every survivor to be recovering), so this rebuild is
+      // always coordinated. The restored epoch is final; the re-run is just the barriers.
+      NAIAD_CHECK(mode == 0) << "selective GO sent to a finished member";
       const uint64_t t0 = obs::MonotonicNs();
       Teardown();
       Build(gen, restore, &start_epoch);
-      NoteRecovered(t0, restore);
+      NoteRecovered(t0, restore, mode);
       continue;
     }
-    // Recovery: tear the whole generation down, rendezvous, rebuild at GO.
+    // Recovery: under kSelective first try to prepare a survivor-preserving restart with
+    // the stack still live (stall barrier + in-memory image + log validation); then tear
+    // the generation down, rendezvous, and rebuild at GO. The supervisor only orders
+    // mode 1 when EVERY survivor reported the preconditions held, so a single member's
+    // fallback demotes the whole cluster to a coordinated restart.
     const uint64_t t0 = obs::MonotonicNs();
     const uint32_t candidate = gen_ + 1;
+    uint64_t sel_ok = 0;
+    if (cfg_.recovery_mode == RecoveryMode::kSelective) {
+      sel_ok = PrepareSelective() ? 1 : 0;
+      if (::getenv("NAIAD_CLUSTER_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[p%u g%u %.3f] prepare_selective=%llu (%.3fs)\n", slot_,
+                     gen_, obs::MonotonicNs() / 1e9, (unsigned long long)sel_ok,
+                     (obs::MonotonicNs() - t0) / 1e9);
+      }
+    }
+    stall_pending_ = true;
+    stall_t0_ = t0;
+    stall_target_ = last_fed_epoch_;
     Teardown();
-    SendStatus(kStRecovering, candidate, 0);
+    SendStatus(kStRecovering, candidate, sel_ok, last_rebase_epoch_);
     uint32_t gen = 0;
     uint64_t restore = kNoManifestEpoch;
-    if (!WaitGo(&gen, &restore)) {
+    uint64_t mode = 0;
+    if (!WaitGo(&gen, &restore, &mode)) {
       return Cleanup(1);  // the supervisor gave up on the run
     }
-    Build(gen, restore, &start_epoch);
-    NoteRecovered(t0, restore);
+    if (mode == 1) {
+      NAIAD_CHECK(sel_ok == 1) << "selective GO without local preconditions";
+      Build(gen, restore, &start_epoch, BuildKind::kSelectiveSurvivor);
+    } else {
+      mem_image_.clear();
+      resend_.clear();
+      victim_ = kNoVictim;
+      Build(gen, restore, &start_epoch);
+    }
+    NoteRecovered(t0, restore, mode);
+    downtime_ns_ = obs::MonotonicNs() - t0;
+    last_mode_ = mode;
   }
   // Supervised exit: every member reported DONE, so no peer is still inside a barrier and
   // link teardown can no longer be mistaken for a death.
+  ExportLogCounters();
   transport_->Shutdown();
   return Cleanup(0);
 }
 
 }  // namespace
+
+RecoveryMode RecoveryModeFromEnv(RecoveryMode def) {
+  const char* v = ::getenv("NAIAD_RECOVERY_MODE");
+  if (v == nullptr) {
+    return def;
+  }
+  if (std::strcmp(v, "selective") == 0) {
+    return RecoveryMode::kSelective;
+  }
+  if (std::strcmp(v, "coordinated") == 0) {
+    return RecoveryMode::kCoordinated;
+  }
+  NAIAD_CHECK(false) << "NAIAD_RECOVERY_MODE must be 'coordinated' or 'selective', got "
+                     << v;
+  return def;
+}
 
 // ---- paths and manifest -------------------------------------------------------------
 
@@ -521,6 +899,12 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
     bool eof = false;
     bool accounted = false;   // restart rendezvous: DONE or RECOVERING seen since the kill
     bool recovering = false;
+    bool selective_ok = false;           // this survivor's preconditions held
+    uint64_t rebase_epoch = kNoManifestEpoch;  // its reported log watermark
+    uint64_t stall_ns = 0;
+    uint64_t downtime_ns = 0;
+    uint64_t mode = 0;                   // 1 when it rebuilt selectively
+    uint64_t replay_drops = 0;
     uint64_t done_recoveries = 0;
     uint64_t done_commits = 0;
     std::vector<uint8_t> buf;
@@ -618,7 +1002,7 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
     }
     for (uint32_t p = 0; p < n; ++p) {
       if (p != victim && !members[p].done) {
-        send_ctl(p, Record{kCtRecover, cur_gen - 1, 0, 0});
+        send_ctl(p, Record{kCtRecover, cur_gen - 1, victim, 0});
       }
     }
   };
@@ -649,9 +1033,27 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
     }
     const uint64_t restore = ReadClusterManifest(cfg.ckpt_dir, n);
     out.restore_epoch = restore;
+    // Selective only when EVERY survivor can hold its state: each must be recovering
+    // (not finished), have passed its local preconditions, and report a log watermark
+    // equal to the manifest epoch — a survivor rebased past a commit the coordinator
+    // died before broadcasting would otherwise double-feed the replacement.
+    uint64_t mode = 0;
+    if (cfg.recovery_mode == RecoveryMode::kSelective && killed) {
+      mode = 1;
+      for (uint32_t p = 0; p < n; ++p) {
+        if (p == victim) {
+          continue;
+        }
+        const Member& m = members[p];
+        if (!m.recovering || !m.selective_ok || m.rebase_epoch != restore) {
+          mode = 0;
+          break;
+        }
+      }
+    }
     for (uint32_t p = 0; p < n; ++p) {
       members[p].done = false;  // a finished member ordered into a restart reports anew
-      send_ctl(p, Record{kCtGo, cur_gen, restore, 0});
+      send_ctl(p, Record{kCtGo, cur_gen, restore, mode});
     }
   };
 
@@ -688,15 +1090,25 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
         if (restart_pending) {
           members[p].accounted = true;
           members[p].recovering = true;
+          members[p].selective_ok = rec.b != 0;
+          members[p].rebase_epoch = rec.c;
         } else if (!killed) {
           if (dbg) std::fprintf(stderr, "[sup] member %u recovering with no kill\n", p);
           failed = true;  // a recovery with no kill means a member falsely suspected death
+        }
+        break;
+      case kStRecoverStats:
+        members[p].stall_ns = std::max(members[p].stall_ns, rec.a);
+        members[p].downtime_ns = std::max(members[p].downtime_ns, rec.b);
+        if (rec.c == 1) {
+          members[p].mode = 1;
         }
         break;
       case kStDone:
         members[p].done = true;
         members[p].done_recoveries = rec.a;
         members[p].done_commits = rec.b;
+        members[p].replay_drops = rec.c;
         members[p].accounted = true;
         break;
       default:
@@ -704,8 +1116,10 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
         failed = true;
         break;
     }
-    if (dbg) std::fprintf(stderr, "[sup] rec p%u tag=%u a=%llu b=%llu\n", p, rec.tag,
-                          (unsigned long long)rec.a, (unsigned long long)rec.b);
+    if (dbg) std::fprintf(stderr, "[sup %.3f] rec p%u tag=%u a=%llu b=%llu c=%llu\n",
+                          obs::MonotonicNs() / 1e9, p, rec.tag,
+                          (unsigned long long)rec.a, (unsigned long long)rec.b,
+                          (unsigned long long)rec.c);
   };
 
   for (;;) {
@@ -804,6 +1218,11 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
     ::waitpid(m.pid, &ws, 0);
     if (!(WIFEXITED(ws) && WEXITSTATUS(ws) == 0)) {
       all_zero = false;
+      if (dbg) {
+        std::fprintf(stderr, "[sup] member slot pid=%d exited=%d code=%d signaled=%d sig=%d\n",
+                     (int)m.pid, WIFEXITED(ws), WIFEXITED(ws) ? WEXITSTATUS(ws) : -1,
+                     WIFSIGNALED(ws), WIFSIGNALED(ws) ? WTERMSIG(ws) : 0);
+      }
     }
     if (m.status_fd >= 0) ::close(m.status_fd);
     if (m.ctl_fd >= 0) ::close(m.ctl_fd);
@@ -813,6 +1232,12 @@ ClusterKillOutcome ClusterKillRecoverDriver::Run(const Options& opts,
   for (const Member& m : members) {
     out.stats.recoveries = std::max(out.stats.recoveries, m.done_recoveries);
     out.stats.checkpoint_epochs = std::max(out.stats.checkpoint_epochs, m.done_commits);
+    out.stats.selective_recoveries += m.mode;
+    out.stats.replayed_frames_dropped += m.replay_drops;
+    out.stats.survivor_stall_seconds =
+        std::max(out.stats.survivor_stall_seconds, static_cast<double>(m.stall_ns) / 1e9);
+    out.stats.recovery_downtime_seconds = std::max(
+        out.stats.recovery_downtime_seconds, static_cast<double>(m.downtime_ns) / 1e9);
   }
   return out;
 }

@@ -65,6 +65,23 @@ class ClusterApp {
 using ClusterAppFactory =
     std::function<std::unique_ptr<ClusterApp>(Controller& ctl)>;
 
+// How the cluster recovers from a member death (§3.4 vs ROADMAP item 3).
+//   kCoordinated  every member tears down and restores from the last committed manifest.
+//   kSelective    Falkirk Wheel: survivors stall at a clean cut but KEEP their state;
+//                 only the replacement restores from its checkpoint, and survivors
+//                 re-send their outbound-log tails to it (src/ft/log_recovery.h). Falls
+//                 back to a coordinated restart whenever the selective preconditions
+//                 fail (stall barrier timeout, torn log, closed inputs, rebase/manifest
+//                 mismatch, a second failure within a selective generation).
+enum class RecoveryMode : uint8_t {
+  kCoordinated = 0,
+  kSelective = 1,
+};
+
+// Reads NAIAD_RECOVERY_MODE ("coordinated" / "selective"); the kill-sweep tests and the
+// CI matrix use it to run the same binaries under both recovery paths.
+RecoveryMode RecoveryModeFromEnv(RecoveryMode def = RecoveryMode::kCoordinated);
+
 struct ClusterRunConfig {
   uint32_t processes = 3;
   uint32_t workers_per_process = 2;
@@ -82,6 +99,10 @@ struct ClusterRunConfig {
   // reset is indistinguishable from a death). Must outlive the run.
   ClusterFaultPlan* fault_plan = nullptr;
   obs::ObsOptions obs;  // trace_path, when set, gets a ".p<id>" suffix per member
+  // Selective recovery additionally keeps per-destination outbound logs in ckpt_dir
+  // (outlog_p<src>_to_<dst>) and garbage-collects superseded per-process images at each
+  // checkpoint commit (the low watermark).
+  RecoveryMode recovery_mode = RecoveryMode::kCoordinated;
 };
 
 // Image and manifest naming inside ClusterRunConfig::ckpt_dir.
@@ -110,7 +131,10 @@ struct ClusterKillOutcome {
   uint64_t kill_epoch = 0;
   bool kill_in_barrier = false;        // kill targeted the checkpoint barrier, not the feed
   uint64_t restore_epoch = kNoManifestEpoch;  // manifest epoch adopted (or none = fresh)
-  ClusterStats stats;      // recoveries / checkpoint_epochs / elapsed filled in
+  // recoveries / checkpoint_epochs / elapsed, plus the selective-recovery block
+  // (selective_recoveries counts members that rebuilt selectively; zero means the
+  // coordinated fallback ran).
+  ClusterStats stats;
 };
 
 // Forks cfg.processes members running `factory`-built apps, optionally SIGKILLs one of

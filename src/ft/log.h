@@ -1,17 +1,31 @@
 // Continual logging (§3.4, "log data as computation proceeds"): the alternative to
 // periodic full checkpoints, trading per-batch overhead for faster resumption. The Fig. 7c
-// benchmark compares None / Checkpoint / Logging configurations of the same computation.
+// benchmark compares None / Checkpoint / Logging configurations of the same computation,
+// and selective rollback recovery (src/ft/log_recovery.h) builds its per-destination
+// outbound frame logs on the same writer.
+//
+// Durability contract: every mutation reports success. A short write, flush, or fsync
+// failure latches the writer into an error state (`ok() == false`); once latched, further
+// appends refuse without touching the file, so a torn record is never followed by a
+// later record that would turn the tear into undetectable mid-file corruption. Replay
+// (LogReader) therefore only ever has to distinguish a torn *tail* — the crash window —
+// from genuine corruption, which is exactly what the CRC framing below encodes.
 
 #ifndef SRC_FT_LOG_H_
 #define SRC_FT_LOG_H_
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/logging.h"
 #include "src/core/stage.h"
 #include "src/ser/codec.h"
@@ -19,10 +33,13 @@
 namespace naiad {
 
 // Append-only record log. Thread-safe; one instance may be shared by every vertex of a
-// logged stage.
+// logged stage. Two layers of API: raw Append (caller-framed bytes) and AppendRecord,
+// which wraps the body in the [u32 len][u32 crc32(body)][body] frame that LogReader
+// understands.
 class LogWriter {
  public:
-  explicit LogWriter(const std::string& path) : file_(std::fopen(path.c_str(), "wb")) {
+  explicit LogWriter(const std::string& path)
+      : path_(path), file_(std::fopen(path.c_str(), "wb")) {
     NAIAD_CHECK(file_ != nullptr) << "cannot open log file " << path;
   }
   ~LogWriter() {
@@ -33,23 +50,80 @@ class LogWriter {
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
 
-  void Append(std::span<const uint8_t> bytes) {
+  // Raw append. Returns false (and latches the error state) on a short write — fwrite
+  // reporting fewer bytes than requested means the log now ends in a torn record, and
+  // bytes_written_ must not advance past what actually reached the stream.
+  bool Append(std::span<const uint8_t> bytes) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::fwrite(bytes.data(), 1, bytes.size(), file_);
-    bytes_written_ += bytes.size();
+    return AppendLocked(bytes);
   }
 
-  void Flush() {
+  // Framed append: [u32 len][u32 crc32(body)][body], written under one lock acquisition
+  // so concurrent vertices can never interleave halves of two records.
+  bool AppendRecord(std::span<const uint8_t> body) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::fflush(file_);
+    uint8_t header[8];
+    const uint32_t len = static_cast<uint32_t>(body.size());
+    const uint32_t crc = Crc32(body.data(), body.size());
+    std::memcpy(header, &len, 4);
+    std::memcpy(header + 4, &crc, 4);
+    return AppendLocked({header, sizeof(header)}) && AppendLocked(body);
+  }
+
+  bool Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok_) {
+      return false;
+    }
+    if (std::fflush(file_) != 0) {
+      ok_ = false;
+    }
+    return ok_;
   }
 
   // Durable flush: what "continual logging" fault tolerance actually pays per batch
   // (§3.4/§6.3) — the data must survive a process failure, not merely sit in page cache.
-  void Sync() {
+  // Propagates fflush/fsync failure: a log whose sync failed must not be treated as
+  // durable (the same rule WriteCheckpointFile applies to images).
+  bool Sync() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok_) {
+      return false;
+    }
+    if (std::fflush(file_) != 0) {
+      ok_ = false;
+      return false;
+    }
+    int rc;
+    do {
+      rc = ::fsync(fileno(file_));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ok_ = false;
+    }
+    return ok_;
+  }
+
+  // Drops every record and clears the error latch — the log-GC path once a checkpoint
+  // frontier has passed everything the log covers (low-watermark truncation).
+  bool Truncate() {
     std::lock_guard<std::mutex> lock(mu_);
     std::fflush(file_);
-    ::fsync(fileno(file_));
+    if (::ftruncate(fileno(file_), 0) != 0) {
+      ok_ = false;
+      return false;
+    }
+    std::rewind(file_);
+    bytes_written_ = 0;
+    ok_ = true;
+    return true;
+  }
+
+  // True until a write, flush, or sync has failed. Latched: callers that see false know
+  // every record up to bytes_written() is intact and nothing after it is trustworthy.
+  bool ok() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ok_;
   }
 
   uint64_t bytes_written() const {
@@ -57,13 +131,119 @@ class LogWriter {
     return bytes_written_;
   }
 
+  const std::string& path() const { return path_; }
+
+  // Test seam for IO failure (ENOSPC-style): consulted before each fwrite with the byte
+  // count about to be written; returning false makes the write fail as a short write.
+  void SetWriteFaultHook(std::function<bool(size_t)> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_hook_ = std::move(hook);
+  }
+
  private:
+  bool AppendLocked(std::span<const uint8_t> bytes) {
+    if (!ok_) {
+      return false;
+    }
+    if (fault_hook_ && !fault_hook_(bytes.size())) {
+      ok_ = false;
+      return false;
+    }
+    const size_t n = std::fwrite(bytes.data(), 1, bytes.size(), file_);
+    bytes_written_ += n;
+    if (n != bytes.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string path_;
   std::FILE* file_;
   mutable std::mutex mu_;
   uint64_t bytes_written_ = 0;
+  bool ok_ = true;
+  std::function<bool(size_t)> fault_hook_;
+};
+
+// Reads back a log of AppendRecord-framed records.
+//
+// Tail discipline: a record whose header or body is cut off by EOF, or whose CRC fails
+// on the *final* record, is a torn tail — the crash window between fwrite and fsync —
+// and replay recovers the clean prefix. A CRC failure on a record with further data
+// after it cannot be a crash artifact (the writer latches its error state and never
+// appends past a failure), so it is reported as corruption.
+class LogReader {
+ public:
+  enum class Status {
+    kOk = 0,        // every record parsed and CRC-verified to EOF
+    kTornTail = 1,  // trailing partial/mangled record dropped; prefix returned
+    kCorrupt = 2,   // CRC mismatch mid-file: the log is not trustworthy
+    kIoError = 3,   // could not open/read the file
+  };
+
+  // Appends each record body to `out` in log order. When `clean_prefix_bytes` is
+  // non-null it receives the byte offset of the end of the last intact record, so a
+  // caller recovering from kTornTail can truncate the file back to a clean boundary.
+  static Status ReadAll(const std::string& path, std::vector<std::vector<uint8_t>>* out,
+                        uint64_t* clean_prefix_bytes = nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::kIoError;
+    }
+    uint64_t clean = 0;
+    Status st = Status::kOk;
+    for (;;) {
+      uint8_t header[8];
+      const size_t hn = std::fread(header, 1, sizeof(header), f);
+      if (hn == 0) {
+        break;  // clean EOF at a record boundary
+      }
+      if (hn != sizeof(header)) {
+        st = Status::kTornTail;
+        break;
+      }
+      uint32_t len;
+      uint32_t crc;
+      std::memcpy(&len, header, 4);
+      std::memcpy(&crc, header + 4, 4);
+      std::vector<uint8_t> body(len);
+      const size_t bn = len == 0 ? 0 : std::fread(body.data(), 1, len, f);
+      if (bn != len) {
+        st = Status::kTornTail;
+        break;
+      }
+      if (Crc32(body.data(), body.size()) != crc) {
+        // At EOF this is a torn body whose length happened to survive; mid-file it is
+        // corruption (the writer never appends past a failed record).
+        const int c = std::fgetc(f);
+        st = c == EOF ? Status::kTornTail : Status::kCorrupt;
+        break;
+      }
+      clean += sizeof(header) + len;
+      out->push_back(std::move(body));
+    }
+    std::fclose(f);
+    if (clean_prefix_bytes != nullptr) {
+      *clean_prefix_bytes = clean;
+    }
+    return st;
+  }
+
+  // Truncates a torn log back to its clean prefix so a later reader sees kOk.
+  static bool TruncateTo(const std::string& path, uint64_t bytes) {
+    int rc;
+    do {
+      rc = ::truncate(path.c_str(), static_cast<off_t>(bytes));
+    } while (rc != 0 && errno == EINTR);
+    return rc == 0;
+  }
 };
 
 // Pass-through stage that durably logs every batch before forwarding it downstream.
+// Batches are CRC-framed (AppendRecord) so a crash between the append and the
+// downstream send leaves a tail that replay can recognize and truncate instead of an
+// un-CRC'd splice that poisons the whole log.
 template <typename T>
 class LoggedVertex final : public UnaryVertex<T, T> {
  public:
@@ -73,9 +253,11 @@ class LoggedVertex final : public UnaryVertex<T, T> {
     ByteWriter w;
     t.Encode(w);
     Codec<std::vector<T>>::Encode(w, batch);
-    log_->Append(w.buffer());
+    NAIAD_CHECK(log_->AppendRecord(w.buffer()))
+        << "log append failed at " << log_->path() << " (" << log_->bytes_written()
+        << " bytes in)";
     if (durable_) {
-      log_->Sync();
+      NAIAD_CHECK(log_->Sync()) << "durable log sync failed at " << log_->path();
     } else {
       log_->Flush();
     }

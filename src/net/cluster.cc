@@ -19,6 +19,14 @@ namespace {
 // ProgressTracker::WaitFor cadence).
 constexpr auto kPoll = std::chrono::milliseconds(1);
 
+// Stall-barrier patience: a survivor that cannot reach the quiet cut in this window
+// (e.g. a peer that already finished and never joins the barrier) resumes and falls back
+// to coordinated restart. The seed exchange gets longer — by then every process has
+// already torn down its old generation, so there is nothing to fall back to and the only
+// honest failure mode is a dead peer.
+constexpr auto kStallTimeout = std::chrono::seconds(5);
+constexpr auto kSeedTimeout = std::chrono::seconds(30);
+
 }  // namespace
 
 ClusterControl::TrafficCounters ClusterControl::SnapshotCounters() const {
@@ -132,6 +140,67 @@ void ClusterControl::HandleControl(uint32_t src, std::span<const uint8_t> payloa
         recovery_requested_.store(true, std::memory_order_release);
         cv_.notify_all();
       }
+      return;
+    }
+    case kCtlSelectiveRecover: {
+      const uint32_t victim = r.ReadU32();
+      NAIAD_CHECK(r.ok());
+      if (!finished()) {
+        NoteVictim(victim);
+        recovery_requested_.store(true, std::memory_order_release);
+        cv_.notify_all();
+      }
+      return;
+    }
+    case kCtlStallAbort: {
+      stall_aborted_.store(true, std::memory_order_release);
+      cv_.notify_all();
+      return;
+    }
+    case kCtlStallReport:
+      HandleStallReport(src, r);
+      return;
+    case kCtlStallVerdict: {
+      const uint64_t round = r.ReadU64();
+      const bool ok = r.ReadU8() != 0;
+      NAIAD_CHECK(r.ok());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stall_verdict_round_ = round;
+        stall_verdict_ok_ = ok;
+        stall_have_verdict_ = true;
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kCtlSeedState: {
+      // Applied on the receive thread, exactly like a progress frame; the sender paused
+      // its workers before broadcasting, so per-link FIFO puts this ahead of anything
+      // else it will ever emit in this generation.
+      ctl_->tracker().Apply(
+          DistributedProgressRouter::DecodeUpdates(payload.subspan(1)));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++seed_frames_;
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kCtlSeedAck: {
+      NAIAD_CHECK(transport_->process_id() == 0);  // acks only go to the coordinator
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++seed_acks_;
+      }
+      cv_.notify_all();
+      return;
+    }
+    case kCtlSeedRelease: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        seed_released_ = true;
+      }
+      cv_.notify_all();
       return;
     }
     default:
@@ -252,13 +321,23 @@ void ClusterControl::HandleCheckpointReport(uint32_t src, ByteReader& r) {
                              job_);
 }
 
+void ClusterControl::NoteVictim(uint32_t victim) {
+  // First attribution wins: every survivor must target the same stall barrier and log
+  // replay even if a second (spurious) report names someone else.
+  uint32_t expected = kNoVictim;
+  recovery_victim_.compare_exchange_strong(expected, victim, std::memory_order_acq_rel);
+}
+
 void ClusterControl::BroadcastRecover(uint32_t victim) {
   if (recover_broadcast_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
   std::vector<uint8_t> payload;
   ByteWriter w(&payload);
-  w.WriteU8(kCtlRecover);
+  // Selective mode broadcasts the victim-carrying verb so survivors can stall in place
+  // rather than tear down; everything else about the fan-out is identical.
+  w.WriteU8(selective_mode_.load(std::memory_order_acquire) ? kCtlSelectiveRecover
+                                                            : kCtlRecover);
   w.WriteU32(victim);
   // Includes self, which sets this process's own recovery flag; the send to the dead
   // victim fails harmlessly (its peer-down report deduplicates against the flag).
@@ -266,11 +345,25 @@ void ClusterControl::BroadcastRecover(uint32_t victim) {
 }
 
 void ClusterControl::ReportFailure(uint32_t victim) {
-  if (finished() || recovery_requested()) {
+  if (finished()) {
+    return;
+  }
+  if (recovery_requested()) {
+    // A DIFFERENT peer going down while a recovery is already pending is a survivor
+    // tearing down for its coordinated restart (or a genuine second failure) — either
+    // way the selective attempt is dead, and a member parked in RunStallBarrier would
+    // otherwise wait out the whole verdict timeout for reports that can no longer come.
+    // The kCtlStallAbort broadcast covers the graceful path; this link-EOF path is the
+    // one that survives the aborter's teardown racing its own abort frame.
+    if (victim != recovery_victim()) {
+      stall_aborted_.store(true, std::memory_order_release);
+      cv_.notify_all();
+    }
     return;
   }
   // Request recovery locally first: the report below can itself be lost to dying links,
   // and the supervisor's rendezvous — not this broadcast — is what guarantees liveness.
+  NoteVictim(victim);
   recovery_requested_.store(true, std::memory_order_release);
   cv_.notify_all();
   const uint32_t coordinator = victim == 0 ? 1 : 0;  // lowest-ranked survivor
@@ -285,15 +378,226 @@ void ClusterControl::ReportFailure(uint32_t victim) {
   transport_->Send(coordinator, FrameType::kControl, std::move(payload), job_);
 }
 
-void ClusterControl::RequestRecovery() {
+void ClusterControl::RequestRecovery(uint32_t victim) {
   if (finished()) {
     return;
+  }
+  if (victim != kNoVictim) {
+    NoteVictim(victim);
   }
   recovery_requested_.store(true, std::memory_order_release);
   cv_.notify_all();
 }
 
 void ClusterControl::Finish() { finished_.store(true, std::memory_order_release); }
+
+ClusterControl::LinkCounters ClusterControl::SnapshotLinkCounters() const {
+  const uint32_t n = transport_->processes();
+  LinkCounters c;
+  c.v.assign(static_cast<size_t>(n) * 6, 0);
+  for (uint32_t q = 0; q < n; ++q) {
+    if (q == transport_->process_id()) {
+      continue;  // self-sends never cross the wire and are not in the per-link counters
+    }
+    const size_t base = static_cast<size_t>(q) * 6;
+    c.v[base + 0] = transport_->frames_sent_to(q, FrameType::kData);
+    c.v[base + 1] = transport_->frames_received_from(q, FrameType::kData);
+    c.v[base + 2] = transport_->frames_sent_to(q, FrameType::kProgress);
+    c.v[base + 3] = transport_->frames_received_from(q, FrameType::kProgress);
+    c.v[base + 4] = transport_->frames_sent_to(q, FrameType::kProgressAcc);
+    c.v[base + 5] = transport_->frames_received_from(q, FrameType::kProgressAcc);
+  }
+  return c;
+}
+
+void ClusterControl::HandleStallReport(uint32_t src, ByteReader& r) {
+  const uint32_t victim = r.ReadU32();
+  StallReport rep;
+  rep.round = r.ReadU64();
+  rep.quiet = r.ReadU8() != 0;
+  const uint32_t n = transport_->processes();
+  NAIAD_CHECK(transport_->process_id() == (victim == 0 ? 1u : 0u));
+  rep.counters.v.resize(static_cast<size_t>(n) * 6);
+  for (uint64_t& c : rep.counters.v) {
+    c = r.ReadU64();
+  }
+  rep.valid = true;
+  NAIAD_CHECK(r.ok());
+
+  std::vector<uint8_t> verdict_payload;
+  {
+    std::lock_guard<std::mutex> lock(coord_mu_);
+    if (victim != stall_victim_) {  // first report arms the tables for this victim
+      stall_victim_ = victim;
+      stall_reports_.assign(n, StallReport{});
+      stall_prev_reports_.assign(n, StallReport{});
+    }
+    stall_reports_[src] = rep;
+    for (uint32_t p = 0; p < n; ++p) {
+      if (p == victim) {
+        continue;  // the dead slot never reports
+      }
+      if (!stall_reports_[p].valid || stall_reports_[p].round != rep.round) {
+        return;
+      }
+    }
+    // Quiet cut among the survivors: everyone locally quiet (workers parked, inboxes and
+    // accumulators empty, the victim's receive link drained to EOF), two-round counter
+    // stability, and — per surviving pair, per frame type — i's sent-to-j equals j's
+    // received-from-i, so no frame between survivors is in flight. Frames sent toward the
+    // victim are deliberately unconstrained: they died with it, and the outbound logs are
+    // what re-materializes them for the replacement.
+    bool ok = true;
+    for (uint32_t p = 0; p < n && ok; ++p) {
+      if (p == victim) {
+        continue;
+      }
+      const StallReport& cur = stall_reports_[p];
+      const StallReport& prev = stall_prev_reports_[p];
+      if (!cur.quiet || !prev.valid || !(cur.counters == prev.counters)) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      for (uint32_t i = 0; i < n && ok; ++i) {
+        for (uint32_t j = 0; j < n && ok; ++j) {
+          if (i == j || i == victim || j == victim) {
+            continue;
+          }
+          for (uint32_t t = 0; t < 3; ++t) {
+            const uint64_t sent = stall_reports_[i].counters.v[j * 6 + 2 * t];
+            const uint64_t recv = stall_reports_[j].counters.v[i * 6 + 2 * t + 1];
+            if (sent != recv) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+    }
+    stall_prev_reports_ = stall_reports_;
+    for (StallReport& existing : stall_reports_) {
+      existing.valid = false;
+    }
+    ByteWriter w(&verdict_payload);
+    w.WriteU8(kCtlStallVerdict);
+    w.WriteU64(rep.round);
+    w.WriteU8(ok ? 1 : 0);
+  }
+  transport_->BroadcastFrame(FrameType::kControl, verdict_payload, /*include_self=*/true,
+                             job_);
+}
+
+void ClusterControl::AbortSelectiveStall() {
+  stall_aborted_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.WriteU8(kCtlStallAbort);
+  transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/false, job_);
+}
+
+bool ClusterControl::RunStallBarrier(uint32_t victim) {
+  const uint64_t t0 = obs::MonotonicNs();
+  const auto deadline = std::chrono::steady_clock::now() + kStallTimeout;
+  const uint32_t coordinator = victim == 0 ? 1 : 0;  // lowest survivor
+  bool ok = false;
+  uint64_t rounds = 0;
+  for (uint64_t round = 0; !stall_aborted(); ++round) {
+    ++rounds;
+    ctl_->PauseAndDrain();
+    router_->FlushAll();
+    const LinkCounters counters = SnapshotLinkCounters();
+    const bool quiet = ctl_->InboxesEmpty() && router_->Empty() &&
+                       transport_->RecvLinkDrained(victim);
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCtlStallReport);
+    w.WriteU32(victim);
+    w.WriteU64(round);
+    w.WriteU8(quiet ? 1 : 0);
+    for (uint64_t c : counters.v) {
+      w.WriteU64(c);
+    }
+    transport_->Send(coordinator, FrameType::kControl, std::move(payload), job_);
+    bool got = false;
+    bool verdict = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stall_have_verdict_ && stall_verdict_round_ == round) {
+          verdict = stall_verdict_ok_;
+          stall_have_verdict_ = false;
+          got = true;
+          break;
+        }
+        if (stall_aborted() || std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        cv_.wait_for(lock, kPoll);
+      }
+    }
+    if (got && verdict) {
+      ok = true;  // workers stay paused: the caller captures its image at this cut
+      break;
+    }
+    ctl_->Resume();
+    if (!got || std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ctl_->obs().tracer().ControlSpan(obs::TraceKind::kSelectiveStall, t0,
+                                   obs::MonotonicNs(), victim, rounds, ok ? 1 : 0);
+  return ok;
+}
+
+bool ClusterControl::RunSeedExchange(const std::vector<ProgressUpdate>& seeds) {
+  const uint32_t n = transport_->processes();
+  const auto deadline = std::chrono::steady_clock::now() + kSeedTimeout;
+  {
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCtlSeedState);
+    const std::vector<uint8_t> encoded = DistributedProgressRouter::EncodeUpdates(seeds);
+    w.WriteBytes(encoded.data(), encoded.size());
+    transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true, job_);
+  }
+  auto wait_until = [&](auto pred) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      cv_.wait_for(lock, kPoll);
+    }
+    return true;
+  };
+  // Hold the full cut before acking; resume only after everyone does. The release is the
+  // ordering root: any −delta a process emits after its release is preceded — at every
+  // other process, by the ack/release chain — by all n seed contributions, so the seeded
+  // could-result-in ancestors dominate exactly as the symmetric start seeds do in a
+  // normal boot.
+  if (!wait_until([&] { return seed_frames_ >= n; })) {
+    return false;
+  }
+  {
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCtlSeedAck);
+    transport_->Send(0, FrameType::kControl, std::move(payload), job_);
+  }
+  if (transport_->process_id() == 0) {
+    if (!wait_until([&] { return seed_acks_ >= n; })) {
+      return false;
+    }
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.WriteU8(kCtlSeedRelease);
+    transport_->BroadcastFrame(FrameType::kControl, payload, /*include_self=*/true, job_);
+  }
+  return wait_until([&] { return seed_released_; });
+}
 
 bool ClusterControl::RunTerminationBarrier() {
   for (uint64_t round = 0;; ++round) {
@@ -341,7 +645,8 @@ bool ClusterControl::RunTerminationBarrier() {
 
 bool ClusterControl::RunCheckpointBarrier(
     uint64_t epoch, const std::function<bool(uint64_t)>& write_image,
-    const std::function<bool(uint64_t)>& write_manifest) {
+    const std::function<bool(uint64_t)>& write_manifest,
+    const std::function<void(uint64_t)>& at_cut) {
   const uint64_t t0 = obs::MonotonicNs();
   uint64_t rounds = 0;
   // Phase 1: quiet-point rounds, until the coordinator sees the whole cluster quiet.
@@ -397,9 +702,13 @@ bool ClusterControl::RunCheckpointBarrier(
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 
-  // Phase 2: globally quiet, workers still paused — capture and durably publish this
-  // process's image. write_image resumes the workers; that is safe before commit because
-  // a quiet cluster with no new input generates no traffic.
+  // Phase 2: globally quiet, workers still paused — first the cut hook (log windows must
+  // anchor exactly here, before ANY process resumes), then capture and durably publish
+  // this process's image. write_image resumes the workers; that is safe before commit
+  // because a quiet cluster with no new input generates no traffic.
+  if (at_cut) {
+    at_cut(epoch);
+  }
   const bool durable = write_image(epoch);
   {
     std::vector<uint8_t> payload;

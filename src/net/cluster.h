@@ -55,6 +55,24 @@ inline constexpr uint8_t kCtlFailure = 6;
 inline constexpr uint8_t kCtlRecover = 7;
 inline constexpr uint8_t kCtlRegisterJob = 8;
 inline constexpr uint8_t kCtlTeardownJob = 9;
+// Selective rollback recovery (src/ft/log_recovery.h). kCtlSelectiveRecover replaces the
+// whole-cluster kCtlRecover broadcast when selective mode is on (it carries the victim so
+// every survivor can target its stall barrier and log replay); kCtlStall* drive the
+// survivor stall barrier (a quiet point among the survivors, with the victim's receive
+// link drained); kCtlSeed* drive the post-rebuild seed-state exchange — each process
+// broadcasts its own tracker contributions, acks once it holds all of them, and resumes
+// only after the release, so every −delta any process ever emits is preceded everywhere
+// by its seeded could-result-in ancestor.
+inline constexpr uint8_t kCtlSelectiveRecover = 10;
+inline constexpr uint8_t kCtlStallReport = 11;
+inline constexpr uint8_t kCtlStallVerdict = 12;
+inline constexpr uint8_t kCtlSeedState = 13;
+inline constexpr uint8_t kCtlSeedAck = 14;
+inline constexpr uint8_t kCtlSeedRelease = 15;
+inline constexpr uint8_t kCtlStallAbort = 16;
+
+// "No process": recovery_victim() before any failure, and manifest-absent rebase tags.
+inline constexpr uint32_t kNoVictim = 0xffffffffu;
 
 struct ClusterOptions {
   uint32_t processes = 2;
@@ -113,6 +131,14 @@ struct ClusterStats {
   uint64_t stray_frames_dropped = 0;    // frames for unknown / already-torn-down jobs
   uint64_t stash_overflow_drops = 0;    // pre-registration frames over the stash quota
   uint64_t duplicate_frames_dropped = 0;  // receiver-side dedup hits (seq replay)
+  // Selective rollback recovery (src/ft/log_recovery.h). survivor_stall_seconds is the
+  // longest any survivor spent paused (stall barrier start → state capture done) — the
+  // quantity Fig.-style recovery benchmarks compare against a coordinated restart, where
+  // every survivor instead tears down and replays from the checkpoint.
+  uint64_t selective_recoveries = 0;
+  uint64_t replayed_frames_dropped = 0;   // regenerated frames deduped at survivors
+  double survivor_stall_seconds = 0;
+  double recovery_downtime_seconds = 0;   // failure detection → victim slot live again
 };
 
 // Reads NAIAD_PROGRESS_SCOPING ("flat" / "scoped"); the sweep tests and the CI matrix use
@@ -151,7 +177,46 @@ class ClusterControl {
   // Deduplicated; ignored after Finish().
   void ReportFailure(uint32_t victim);
   // Requests recovery directly (supervisor hint path), as if a kRecover frame arrived.
-  void RequestRecovery();
+  // The hint may carry the victim (selective mode needs it even when the in-band
+  // broadcast was lost).
+  void RequestRecovery(uint32_t victim = kNoVictim);
+
+  // Selective mode: failure broadcasts carry the victim (kCtlSelectiveRecover), and the
+  // stall/seed machinery below becomes live. Set once, right after construction.
+  void SetSelectiveMode(bool on) { selective_mode_.store(on, std::memory_order_release); }
+  // The process whose death triggered the pending recovery (first report wins), or
+  // kNoVictim when no failure has been attributed yet.
+  uint32_t recovery_victim() const {
+    return recovery_victim_.load(std::memory_order_acquire);
+  }
+
+  // Survivor stall barrier: like the checkpoint barrier's quiet-point rounds, but among
+  // the survivors of `victim` on the live (pre-teardown) mesh, with per-link counters —
+  // the verdict requires every surviving pair's sent==received per frame type plus the
+  // victim's receive link fully drained, so the survivors' paused state is a consistent
+  // cut that has absorbed everything the victim ever put on the wire. Coordinator is the
+  // lowest survivor. On success the caller's workers are LEFT PAUSED (capture your image,
+  // then resume); on failure (timeout, or a peer that never joins) workers are resumed
+  // and the caller falls back to coordinated restart.
+  bool RunStallBarrier(uint32_t victim);
+
+  // Declares this process out of the selective attempt for the current generation and
+  // tells every peer so (kCtlStallAbort). Fallback decisions are LOCAL (a member whose
+  // final commit already landed, or whose victim attribution is missing, skips the stall
+  // barrier entirely) — without this broadcast a peer already inside RunStallBarrier
+  // would wait out the full verdict timeout for a report that is never coming. Sticky
+  // for the lifetime of this control object (one generation): once any member aborts,
+  // the supervisor can only order a coordinated restart anyway.
+  void AbortSelectiveStall();
+  bool stall_aborted() const { return stall_aborted_.load(std::memory_order_acquire); }
+
+  // Post-rebuild seed exchange: broadcasts this process's tracker contributions (from
+  // RestoreProcessSelective / FreshStartSelective, plus the caller's replay +counts),
+  // applies every process's contributions as they arrive, acks to process 0 once all are
+  // held, and returns after the coordinator's release — at which point it is safe to
+  // Resume() and start emitting deltas. Workers must be paused (Controller::StartPaused)
+  // for the duration. False on timeout (a peer died mid-rebuild).
+  bool RunSeedExchange(const std::vector<ProgressUpdate>& seeds);
 
   // Blocks until the cluster-wide two-round stability verdict. Returns true on successful
   // termination (and latches Finish()); false if interrupted by a recovery request. An
@@ -159,15 +224,24 @@ class ClusterControl {
   bool RunTerminationBarrier();
 
   // Drives this process through the cluster checkpoint for `epoch`: quiet-point rounds,
-  // then `write_image(epoch)` (must capture and durably publish this process's image and
+  // then `at_cut(epoch)` (if set) strictly at the global quiet point — every worker in
+  // the cluster paused, cluster-wide sent==received verified, no peer resumed yet — then
+  // `write_image(epoch)` (must capture and durably publish this process's image and
   // leave the controller resumed — CheckpointProcess + WriteCheckpointFile does), then the
   // durable/commit exchange. On process 0, `write_manifest(epoch)` publishes the manifest
   // once every process has reported durable. Returns true once the commit for `epoch` is
   // received; false if the checkpoint failed or recovery interrupted it. All processes
   // must call this for the same epochs in the same order.
+  //
+  // at_cut is where selective recovery anchors its log windows (outbound-log truncation
+  // and the received-frame watermark): taken any later — e.g. after this call returns —
+  // a faster peer's already-resumed feed thread can slide next-epoch frames under the
+  // snapshot, and a replacement's replay would then be deduplicated against a watermark
+  // the survivor's state does not actually match (double delivery).
   bool RunCheckpointBarrier(uint64_t epoch,
                             const std::function<bool(uint64_t)>& write_image,
-                            const std::function<bool(uint64_t)>& write_manifest);
+                            const std::function<bool(uint64_t)>& write_manifest,
+                            const std::function<void(uint64_t)>& at_cut = nullptr);
 
   // After the termination verdict: ignore all further failure reports and recovery frames
   // (peers' teardown EOFs are not failures once the run is over).
@@ -193,10 +267,26 @@ class ClusterControl {
     bool valid = false;
   };
 
+  // Per-link stall-barrier counters: for each peer q, {sent_to(q), received_from(q)} per
+  // {data, progress, progress-acc} — 6 entries per peer, self slots zero.
+  struct LinkCounters {
+    std::vector<uint64_t> v;
+    friend bool operator==(const LinkCounters&, const LinkCounters&) = default;
+  };
+  struct StallReport {
+    uint64_t round = 0;
+    bool quiet = false;
+    LinkCounters counters;
+    bool valid = false;
+  };
+
   TrafficCounters SnapshotCounters() const;
+  LinkCounters SnapshotLinkCounters() const;
   void HandleTerminationReport(uint32_t src, ByteReader& r);
   void HandleCheckpointReport(uint32_t src, ByteReader& r);
+  void HandleStallReport(uint32_t src, ByteReader& r);
   void BroadcastRecover(uint32_t victim);
+  void NoteVictim(uint32_t victim);
 
   Controller* ctl_;
   TcpTransport* transport_;
@@ -207,6 +297,8 @@ class ClusterControl {
   std::atomic<bool> finished_{false};
   std::atomic<bool> recovery_requested_{false};
   std::atomic<uint64_t> committed_epochs_{0};
+  std::atomic<bool> selective_mode_{false};
+  std::atomic<uint32_t> recovery_victim_{kNoVictim};
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -222,6 +314,14 @@ class ClusterControl {
   bool ckpt_have_commit_ = false;
   uint64_t ckpt_commit_epoch_ = 0;
   bool ckpt_commit_ok_ = false;
+  std::atomic<bool> stall_aborted_{false};
+  // Stall verdict (participant side) and seed-exchange progress.
+  bool stall_have_verdict_ = false;
+  uint64_t stall_verdict_round_ = 0;
+  bool stall_verdict_ok_ = false;
+  uint32_t seed_frames_ = 0;    // kCtlSeedState frames applied (incl. own)
+  uint32_t seed_acks_ = 0;      // coordinator: processes holding the full seed set
+  bool seed_released_ = false;
   // Durable acks (coordinator side, but under mu_: the coordinator's barrier thread
   // cv-waits on them).
   uint64_t durable_epoch_ = ~uint64_t{0};
@@ -235,6 +335,10 @@ class ClusterControl {
   std::vector<Report> ckpt_reports_;
   std::vector<Report> ckpt_prev_reports_;
   uint64_t ckpt_epoch_ = ~uint64_t{0};
+  // Stall-barrier tables (coordinator = lowest survivor, also under coord_mu_).
+  std::vector<StallReport> stall_reports_;
+  std::vector<StallReport> stall_prev_reports_;
+  uint32_t stall_victim_ = kNoVictim;
   std::atomic<bool> recover_broadcast_{false};
 };
 

@@ -115,6 +115,11 @@ class DistributedProgressRouter final : public ProgressRouter {
     return in_scope_update_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Wire form of a progress-update batch; the selective-recovery seed exchange
+  // (ClusterControl::RunSeedExchange) reuses it for kCtlSeedState payloads.
+  static std::vector<uint8_t> EncodeUpdates(const std::vector<ProgressUpdate>& ups);
+  static std::vector<ProgressUpdate> DecodeUpdates(std::span<const uint8_t> payload);
+
  private:
   bool IsCentral() const { return ctl_->config().process_id == 0; }
 
@@ -132,9 +137,6 @@ class DistributedProgressRouter final : public ProgressRouter {
 
   void FlushLocal();
   void FlushCentral();
-
-  static std::vector<uint8_t> EncodeUpdates(const std::vector<ProgressUpdate>& ups);
-  static std::vector<ProgressUpdate> DecodeUpdates(std::span<const uint8_t> payload);
 
   Controller* ctl_;
   TcpTransport* transport_;

@@ -176,6 +176,7 @@ void TcpTransport::Send(uint32_t dst, FrameType type, std::vector<uint8_t> paylo
   }
   frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
   bytes_sent_[static_cast<size_t>(type)].fetch_add(frame_bytes, std::memory_order_relaxed);
+  link.sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
   if (acct != nullptr) {
     acct->frames_sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
     acct->bytes_sent[static_cast<size_t>(type)].fetch_add(frame_bytes,
@@ -216,6 +217,7 @@ void TcpTransport::BroadcastFrame(FrameType type, const std::vector<uint8_t>& pa
     frames_sent_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
     bytes_sent_[static_cast<size_t>(type)].fetch_add(frame->size() + 8,
                                                      std::memory_order_relaxed);
+    link.sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
     if (acct != nullptr) {
       acct->frames_sent[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
       acct->bytes_sent[static_cast<size_t>(type)].fetch_add(frame->size() + 8,
@@ -375,8 +377,13 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
   uint64_t replacement_index = 0;  // replacement connections adopted so far
   // Next expected per-type sequence number; persists across replacement connections
   // (the sender's numbering does too). A frame numbered below its type's expectation
-  // was already dispatched — a duplicate delivery — and is dropped here.
-  uint64_t expected_seq[kNumFrameTypes] = {};
+  // was already dispatched — a duplicate delivery — and is dropped here. The starting
+  // expectation is normally 0; selective recovery pre-seeds it (SeedRecvExpectation) so
+  // a replaced peer's replayed prefix is treated as already dispatched.
+  uint64_t expected_seq[kNumFrameTypes];
+  for (int t = 0; t < kNumFrameTypes; ++t) {
+    expected_seq[t] = link.initial_expect[t];
+  }
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(link.mu);
@@ -485,6 +492,13 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
           trace->Record(obs::TraceKind::kLinkDupFrame, obs::MonotonicNs(), 0, seq,
                         static_cast<uint64_t>(type), 1);
         }
+        if (cb_.on_dup_frame && !shutdown_.load(std::memory_order_acquire) &&
+            cb_.on_dup_frame(type, frame_src, job, seq, payload)) {
+          // A deliberately-dropped replayed frame: its send was counted, so its retirement
+          // must be too, or the barrier's cluster-wide sent==received never balances.
+          frames_received_[static_cast<size_t>(type)].fetch_add(1,
+                                                               std::memory_order_relaxed);
+        }
         continue;
       }
       ++expect;
@@ -502,11 +516,23 @@ void TcpTransport::ReceiverMain(uint32_t src, RecvLink& link) {
         return;
       }
       Dispatch(type, frame_src, job, payload);
+      link.received[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
     }
     if (shutdown_.load(std::memory_order_acquire)) {
       return;
     }
   }
+}
+
+void TcpTransport::SeedRecvExpectation(uint32_t src, FrameType type, uint64_t seq) {
+  NAIAD_CHECK(src != pid_ && src < nprocs_);
+  recv_links_[src]->initial_expect[static_cast<size_t>(type)] = seq;
+}
+
+bool TcpTransport::RecvLinkDrained(uint32_t src) {
+  RecvLink& link = *recv_links_[src];
+  std::lock_guard<std::mutex> lock(link.mu);
+  return !link.reading && link.pending.empty();
 }
 
 void TcpTransport::NotifyPeerDown(uint32_t peer) {

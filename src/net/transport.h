@@ -80,6 +80,17 @@ class TcpTransport final : public DataTransport {
     // transparently re-dial); the kill-and-recover harness runs with reset injection off.
     // May fire multiple times per peer; the consumer deduplicates.
     std::function<void(uint32_t peer)> on_peer_down;
+    // Duplicate-frame observer (optional). Fired from the receive thread when a frame's
+    // per-type sequence number was already dispatched on this link and the frame is about
+    // to be dropped. Returning true counts the drop as received in the global per-type
+    // counters: selective recovery routes a replacement's replayed frames through the
+    // dedup path, and the checkpoint barrier's cluster-wide sent==received accounting
+    // must still balance for frames a survivor deliberately drops (their send side WAS
+    // counted). Fault-injected duplicates — whose extra wire emission was never counted
+    // as sent — must return false, preserving the original accounting.
+    std::function<bool(FrameType type, uint32_t src, uint32_t job, uint64_t seq,
+                       std::span<const uint8_t> payload)>
+        on_dup_frame;
   };
 
   TcpTransport(uint32_t process_id, uint32_t processes);
@@ -158,6 +169,32 @@ class TcpTransport final : public DataTransport {
     return recv_dup_frames_.load(std::memory_order_relaxed);
   }
 
+  // Pre-seeds the receiver's per-type duplicate-detection expectation for frames from
+  // `src`: every frame numbered below `seq` is treated as an already-dispatched
+  // duplicate. Selective recovery uses this so a survivor that already absorbed the
+  // first `seq` data frames of a replaced peer's post-checkpoint window drops the
+  // replayed prefix instead of re-delivering it. Must be called before Start().
+  void SeedRecvExpectation(uint32_t src, FrameType type, uint64_t seq);
+
+  // Per-link wire counters: frames enqueued toward / dispatched from one specific peer.
+  // The per-link received counter advances only on dispatch (duplicate drops excluded),
+  // so `frames_received_from(p, kData)` is exactly the count of p's data frames this
+  // process has absorbed — the quantity a survivor snapshots as its replay watermark.
+  uint64_t frames_sent_to(uint32_t dst, FrameType type) const {
+    return send_links_[dst]->sent[static_cast<size_t>(type)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t frames_received_from(uint32_t src, FrameType type) const {
+    return recv_links_[src]->received[static_cast<size_t>(type)].load(
+        std::memory_order_relaxed);
+  }
+
+  // True once the inbound link from `src` has no installed connection and no pending
+  // replacement: the peer's socket reached EOF and every byte it ever wrote has been
+  // dispatched. The survivor stall barrier polls this to know the dead peer's in-flight
+  // frames have fully landed before it snapshots state.
+  bool RecvLinkDrained(uint32_t src);
+
   uint32_t process_id() const { return pid_; }
   uint32_t processes() const { return nprocs_; }
 
@@ -192,6 +229,7 @@ class TcpTransport final : public DataTransport {
     LinkFaultHook* faults = nullptr;        // owned by the fault plan
     obs::LinkMetrics* metrics = nullptr;    // owned by the controller's Obs; set in Start
     obs::TraceRing* trace = nullptr;        // sender-thread ring; set/used only by SenderMain
+    std::atomic<uint64_t> sent[kNumFrameTypes] = {};  // frames enqueued (== seqs assigned)
   };
 
   // Inbound half: connections the peer dialed to us, delivered by the accept loop. The
@@ -206,6 +244,8 @@ class TcpTransport final : public DataTransport {
     std::deque<Socket> pending;          // replacement connections, FIFO
     std::thread receiver;
     RecvLinkFaultHook* faults = nullptr;  // owned by the fault plan; set in Start
+    std::atomic<uint64_t> received[kNumFrameTypes] = {};  // frames dispatched (not drops)
+    uint64_t initial_expect[kNumFrameTypes] = {};  // SeedRecvExpectation, read at start
   };
 
   // `count` distinguishes wire deliveries (receiver threads) from inline self-dispatches:

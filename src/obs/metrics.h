@@ -184,6 +184,13 @@ struct alignas(64) ProcessMetrics {
   std::atomic<uint64_t> progress_occ_map_peak_root{0};  // root scope's map peak alone
   std::atomic<uint64_t> progress_query_memo_hits{0};   // frontier queries memo-answered
   std::atomic<uint64_t> progress_query_scans{0};       // frontier queries that scanned
+
+  // Selective rollback recovery (src/ft/log_recovery.h).
+  std::atomic<uint64_t> selective_recoveries{0};     // survivor-preserving restarts
+  std::atomic<uint64_t> log_records_logged{0};       // outbound data frames durably logged
+  std::atomic<uint64_t> log_bytes_logged{0};         // their encoded record bytes
+  std::atomic<uint64_t> log_rebases{0};              // watermark GC truncations
+  std::atomic<uint64_t> replayed_frames_dropped{0};  // regenerated frames deduped at recv
 };
 
 class Metrics {
@@ -245,6 +252,15 @@ class Metrics {
               process_.progress_query_memo_hits.load(std::memory_order_relaxed));
     b.Counter("progress_query_scans",
               process_.progress_query_scans.load(std::memory_order_relaxed));
+    b.Counter("selective_recoveries",
+              process_.selective_recoveries.load(std::memory_order_relaxed));
+    b.Counter("log_records_logged",
+              process_.log_records_logged.load(std::memory_order_relaxed));
+    b.Counter("log_bytes_logged",
+              process_.log_bytes_logged.load(std::memory_order_relaxed));
+    b.Counter("log_rebases", process_.log_rebases.load(std::memory_order_relaxed));
+    b.Counter("replayed_frames_dropped",
+              process_.replayed_frames_dropped.load(std::memory_order_relaxed));
   }
 
   // Single-process convenience.

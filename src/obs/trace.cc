@@ -42,6 +42,10 @@ KindDesc Describe(TraceKind k) {
       return {"link_dup_frame", false};
     case TraceKind::kStrayFrame:
       return {"stray_frame", false};
+    case TraceKind::kSelectiveStall:
+      return {"selective_stall", true};
+    case TraceKind::kSelectiveSeed:
+      return {"selective_seed", true};
   }
   return {"?", false};
 }
@@ -106,6 +110,19 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
       break;
     case TraceKind::kStrayFrame:
       std::snprintf(buf, sizeof(buf), "{\"job\": %llu, \"src\": %llu, \"type\": %llu}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1),
+                    static_cast<unsigned long long>(e.a2));
+      break;
+    case TraceKind::kSelectiveStall:
+      std::snprintf(buf, sizeof(buf), "{\"victim\": %llu, \"rounds\": %llu, \"ok\": %llu}",
+                    static_cast<unsigned long long>(e.a0),
+                    static_cast<unsigned long long>(e.a1),
+                    static_cast<unsigned long long>(e.a2));
+      break;
+    case TraceKind::kSelectiveSeed:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"seeds\": %llu, \"replayed\": %llu, \"replacement\": %llu}",
                     static_cast<unsigned long long>(e.a0),
                     static_cast<unsigned long long>(e.a1),
                     static_cast<unsigned long long>(e.a2));

@@ -52,6 +52,10 @@ enum class TraceKind : uint8_t {
                          // dur=teardown + restore + re-dial span
   kLinkDupFrame,         // a0=sequence number, a1=frame type, a2=1 on the receive side
   kStrayFrame,           // a0=job id, a1=src process, a2=frame type
+  kSelectiveStall,       // a0=victim process, a1=barrier rounds, a2=1 on success;
+                         // dur=survivor stall span (pause → verdict)
+  kSelectiveSeed,        // a0=seed updates contributed, a1=log records replayed,
+                         // a2=1 on the replacement; dur=seed exchange span
 };
 
 struct TraceEvent {

@@ -117,6 +117,11 @@ ClusterRunConfig BaseConfig(const std::string& dir) {
   cfg.ckpt_dir = dir;
   cfg.obs.metrics = true;  // the acceptance bar: recovery correct with observability on
   cfg.obs.tracing = true;
+  // NAIAD_RECOVERY_MODE=selective runs the whole sweep — clean reference included — with
+  // outbound logging on and the Falkirk Wheel survivor-preserving restart; the final
+  // images must still be byte-identical to the coordinated runs' (the log substrate is a
+  // pure side channel of the computation).
+  cfg.recovery_mode = RecoveryModeFromEnv();
   return cfg;
 }
 
@@ -264,6 +269,72 @@ TEST(ClusterRecoveryTest, BarrierKillNeverAdoptsTornCheckpoint) {
     }
   }
   EXPECT_EQ(exercised, 2);
+}
+
+// Forces selective mode regardless of the environment and runs one mid-feed kill seed.
+ClusterKillOutcome RunSelectiveSeed(uint64_t seed) {
+  const std::string dir = FreshDir("sel_seed_" + std::to_string(seed));
+  ClusterKillRecoverDriver::Options opts;
+  opts.cfg = BaseConfig(dir);
+  opts.cfg.recovery_mode = RecoveryMode::kSelective;
+  opts.seed = seed;
+  opts.inject_kill = true;
+  const ClusterKillOutcome out = ClusterKillRecoverDriver::Run(opts, Factory());
+  EXPECT_TRUE(out.launched);
+  EXPECT_TRUE(out.ok) << "selective seed " << seed;
+  EXPECT_TRUE(out.killed) << "selective seed " << seed;
+  if (out.ok) {
+    // Whether the restart ran selectively or fell back, the results must match the
+    // clean (and therefore also the coordinated) reference bit-for-bit.
+    const auto& clean = CleanReference();
+    const auto killed_images = FinalImages(opts.cfg);
+    for (uint32_t p = 0; p < opts.cfg.processes; ++p) {
+      EXPECT_EQ(killed_images[p], clean[p])
+          << "selective seed " << seed << ": process " << p << " final image diverged";
+    }
+  }
+  return out;
+}
+
+TEST(ClusterRecoveryTest, SelectiveRecoveryPreservesSurvivors) {
+  // A mid-feed kill with every selective precondition in reach: the survivors must stall,
+  // keep their state, and rebuild selectively (mode 1 for both survivors plus the
+  // replacement), deduping the replacement's regenerated frames. Whether a given kill
+  // actually goes selective is timing-dependent (a survivor that raced into a checkpoint
+  // commit before detecting the death legitimately demotes the restart), so this tries a
+  // handful of mid-feed seeds and requires that at least one rebuilt selectively —
+  // byte-identical images are enforced on every attempt either way.
+  bool selective_seen = false;
+  uint64_t seed = 3000;
+  for (int attempts = 0; attempts < 5 && !selective_seen; ++attempts, ++seed) {
+    while (SeedKillsInBarrier(seed)) {
+      ++seed;
+    }
+    const ClusterKillOutcome out = RunSelectiveSeed(seed);
+    if (out.ok && out.stats.recoveries >= 1 && out.stats.selective_recoveries >= 1) {
+      selective_seen = true;
+      EXPECT_GT(out.stats.recovery_downtime_seconds, 0.0) << "seed " << seed;
+      EXPECT_GT(out.stats.survivor_stall_seconds, 0.0) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(selective_seen)
+      << "no mid-feed kill rebuilt selectively across 5 seeds; the preconditions are "
+         "failing systematically";
+}
+
+TEST(ClusterRecoveryTest, SelectiveFallbackInjectRecoversCoordinated) {
+  // The forced-fallback hook: every survivor refuses the selective path, the supervisor
+  // must demote the restart to coordinated, and the run still converges byte-identically.
+  ASSERT_EQ(::setenv("NAIAD_SELECTIVE_FALLBACK_INJECT", "1", 1), 0);
+  uint64_t seed = 4000;
+  while (SeedKillsInBarrier(seed)) {
+    ++seed;
+  }
+  const ClusterKillOutcome out = RunSelectiveSeed(seed);
+  ASSERT_EQ(::unsetenv("NAIAD_SELECTIVE_FALLBACK_INJECT"), 0);
+  if (out.ok && out.stats.recoveries >= 1) {
+    EXPECT_EQ(out.stats.selective_recoveries, 0u) << "seed " << seed;
+  }
 }
 
 TEST(ClusterRecoveryTest, RecoveryCountersSurfaceInStats) {

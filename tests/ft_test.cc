@@ -528,6 +528,115 @@ TEST(LogTest, DurableModeWritesMoreSlowlyButIdentically) {
   }
 }
 
+// Regression: LogWriter::Append used to ignore fwrite's return value, so a short write
+// (ENOSPC, full pipe, failing disk) silently corrupted the log while bytes_written_ kept
+// advancing. A failed write must surface to the caller and latch the writer.
+TEST(LogTest, ShortWriteSurfacesAndLatchesError) {
+  const std::string path = ::testing::TempDir() + "/naiad_log_shortwrite.bin";
+  LogWriter log(path);
+  const std::vector<uint8_t> rec = {1, 2, 3, 4};
+  ASSERT_TRUE(log.Append(rec));
+  EXPECT_TRUE(log.ok());
+  EXPECT_EQ(log.bytes_written(), 4u);
+
+  // ENOSPC-style failure via the fault hook: the next write fails short.
+  log.SetWriteFaultHook([](size_t) { return false; });
+  EXPECT_FALSE(log.Append(rec));
+  EXPECT_FALSE(log.ok());
+  EXPECT_EQ(log.bytes_written(), 4u) << "a failed write must not advance bytes_written";
+
+  // Latched: even after the "disk recovers", appends refuse until the log is truncated
+  // back to a known-clean state — otherwise a later record would bury the torn tail.
+  log.SetWriteFaultHook(nullptr);
+  EXPECT_FALSE(log.Append(rec));
+  EXPECT_FALSE(log.Sync());
+  EXPECT_FALSE(log.Flush());
+  ASSERT_TRUE(log.Truncate());
+  EXPECT_TRUE(log.ok());
+  EXPECT_TRUE(log.Append(rec));
+  std::remove(path.c_str());
+}
+
+// Regression: LogWriter::Sync ignored fflush/fsync results, so "durable" logging could
+// silently lose acknowledged batches. A sync failure must report false, and a writer
+// that has already failed must never claim a later sync made it durable.
+TEST(LogTest, SyncFailureSurfaces) {
+  const std::string path = ::testing::TempDir() + "/naiad_log_syncfail.bin";
+  LogWriter log(path);
+  ASSERT_TRUE(log.Append(std::vector<uint8_t>{7, 7, 7}));
+  ASSERT_TRUE(log.Sync());
+  log.SetWriteFaultHook([](size_t) { return false; });
+  EXPECT_FALSE(log.Append(std::vector<uint8_t>{8}));
+  EXPECT_FALSE(log.Sync());
+  EXPECT_FALSE(log.Flush());
+  EXPECT_FALSE(log.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, FramedRecordsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/naiad_log_roundtrip.bin";
+  std::vector<std::vector<uint8_t>> want;
+  {
+    LogWriter log(path);
+    for (uint8_t i = 0; i < 5; ++i) {
+      std::vector<uint8_t> rec(1 + i * 3, static_cast<uint8_t>(0xA0 + i));
+      ASSERT_TRUE(log.AppendRecord(rec));
+      want.push_back(std::move(rec));
+    }
+    ASSERT_TRUE(log.Sync());
+  }
+  std::vector<std::vector<uint8_t>> got;
+  EXPECT_EQ(LogReader::ReadAll(path, &got), LogReader::Status::kOk);
+  EXPECT_EQ(got, want);
+  std::remove(path.c_str());
+}
+
+// Torn tail: truncate the file mid-record (the crash window between fwrite and fsync)
+// and check replay recovers exactly the clean prefix, and that TruncateTo restores a
+// clean log. Mid-file corruption, by contrast, must be reported as corrupt.
+TEST(LogTest, TornTailTruncatesToCleanPrefix) {
+  const std::string path = ::testing::TempDir() + "/naiad_log_torn.bin";
+  std::vector<std::vector<uint8_t>> want;
+  uint64_t clean_bytes = 0;
+  {
+    LogWriter log(path);
+    for (uint8_t i = 0; i < 3; ++i) {
+      std::vector<uint8_t> rec(10 + i, i);
+      ASSERT_TRUE(log.AppendRecord(rec));
+      want.push_back(std::move(rec));
+    }
+    clean_bytes = log.bytes_written();
+    ASSERT_TRUE(log.AppendRecord(std::vector<uint8_t>(64, 0xEE)));  // will be torn
+    ASSERT_TRUE(log.Sync());
+  }
+  // Tear the final record: keep its header and half its body.
+  ASSERT_TRUE(LogReader::TruncateTo(path, clean_bytes + 8 + 32));
+
+  std::vector<std::vector<uint8_t>> got;
+  uint64_t prefix = 0;
+  EXPECT_EQ(LogReader::ReadAll(path, &got, &prefix), LogReader::Status::kTornTail);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(prefix, clean_bytes);
+
+  // Truncating back to the clean prefix makes the log read clean again.
+  ASSERT_TRUE(LogReader::TruncateTo(path, prefix));
+  got.clear();
+  EXPECT_EQ(LogReader::ReadAll(path, &got), LogReader::Status::kOk);
+  EXPECT_EQ(got, want);
+
+  // Mid-file corruption (flip a byte inside the first record) is NOT a torn tail.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8 + 2, SEEK_SET), 0);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  got.clear();
+  EXPECT_EQ(LogReader::ReadAll(path, &got), LogReader::Status::kCorrupt);
+  std::remove(path.c_str());
+}
+
 TEST(LogTest, LoggedTapWritesAndForwards) {
   const std::string path = ::testing::TempDir() + "/naiad_log_test.bin";
   auto log = std::make_shared<LogWriter>(path);
